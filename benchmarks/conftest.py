@@ -1,0 +1,100 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The circuit
+size preset is controlled by the ``EMORPHIC_BENCH_PRESET`` environment
+variable (``test`` by default so the whole harness finishes in minutes of
+pure Python; set it to ``bench`` for the larger reproduction-scale circuits
+reported in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import pytest
+
+from repro.benchgen import epfl
+from repro.costmodel.abc_cost import MappingCostModel
+from repro.costmodel.hoga import HogaConfig
+from repro.costmodel.train import train_cost_model
+from repro.flows.baseline import BaselineConfig
+from repro.flows.emorphic import EmorphicConfig
+from repro.mapping.library import default_library
+
+#: Circuits used by the full-table benchmarks, in the paper's order.
+TABLE_CIRCUITS: List[str] = list(epfl.PAPER_ORDER)
+
+
+def bench_preset() -> str:
+    return os.environ.get("EMORPHIC_BENCH_PRESET", "test")
+
+
+def bench_circuits(names: List[str] | None = None) -> Dict[str, "object"]:
+    names = names or TABLE_CIRCUITS
+    preset = bench_preset()
+    return {name: epfl.build(name, preset=preset) for name in names}
+
+
+def fast_emorphic_config(use_ml_model: bool = False, ml_model=None) -> EmorphicConfig:
+    """The E-morphic configuration used by the harness.
+
+    Keeps the paper's structure (5 rewrite iterations, 4 SA iterations,
+    T1 = 2000, 4/6 threads) but caps the e-graph size and the number of SA
+    moves so the pure-Python run completes in minutes.
+    """
+    config = EmorphicConfig(
+        rewrite_iterations=5,
+        max_egraph_nodes=20_000,
+        rewrite_time_limit=15.0,
+        num_threads=3,
+        sa_iterations=4,
+        moves_per_iteration=2,
+        use_ml_model=use_ml_model,
+        ml_model=ml_model,
+        verify=False,  # equivalence of the flow is covered by the test suite
+    )
+    config.baseline = BaselineConfig(use_choices=False)
+    return config
+
+
+def baseline_config() -> BaselineConfig:
+    return BaselineConfig(use_choices=False)
+
+
+@pytest.fixture(scope="session")
+def library():
+    return default_library()
+
+
+@pytest.fixture(scope="session")
+def trained_cost_model(library):
+    """A HOGA-like cost model trained once per benchmark session (Section IV-D)."""
+    circuits = [epfl.build(name, preset="test") for name in ["mem_ctrl", "sqrt", "adder", "arbiter"]]
+    model, report = train_cost_model(
+        circuits,
+        variants_per_circuit=6,
+        config=HogaConfig(epochs=150, hidden_dim=24, seed=0),
+        cost_model=MappingCostModel(library=library),
+        seed=1,
+    )
+    model._train_report = report  # stashed for the Section IV-D benchmark
+    return model
+
+
+def geomean(values: List[float]) -> float:
+    import math
+
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+
+def print_table(title: str, header: List[str], rows: List[List[str]]) -> None:
+    """Render a table to stdout (visible with ``pytest -s`` and in bench logs)."""
+    widths = [max(len(str(row[i])) for row in [header] + rows) for i in range(len(header))]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,66 @@
+"""Figure 1: the structural-bias case study.
+
+The figure shows that repeated technology-independent (level-oriented)
+optimization passes approach a near-local optimum of post-mapping delay, and
+that E-morphic's parallel structural exploration escapes it.  The harness
+sweeps 0..N SOP-balancing passes, maps after each, then runs the E-morphic
+resynthesis from the near-optimum point and reports the delay series
+(normalised to the initial circuit, like the 1.0 / 0.6 annotations in the
+figure).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.benchgen import epfl
+from repro.flows.emorphic import run_emorphic_flow
+from repro.mapping.cut_mapping import map_aig
+from repro.opt.sop_balance import sop_balance
+
+from conftest import bench_preset, fast_emorphic_config, print_table
+
+RESULTS_PATH = Path(__file__).parent / "results_fig1.json"
+CASE_CIRCUIT = "multiplier"
+NUM_PASSES = 4
+
+
+def _run_case_study(library) -> dict:
+    aig = epfl.build(CASE_CIRCUIT, preset=bench_preset())
+    series = []
+    work = aig.strash()
+    series.append(map_aig(work, library).delay)
+    for _ in range(NUM_PASSES):
+        work = sop_balance(work.strash())
+        series.append(map_aig(work, library).delay)
+    emorphic = run_emorphic_flow(aig, fast_emorphic_config(), library=library)
+    return {
+        "circuit": CASE_CIRCUIT,
+        "delay_after_pass": series,
+        "emorphic_delay": emorphic.delay,
+    }
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_structural_exploration_escapes_local_optimum(benchmark, library):
+    data = benchmark.pedantic(_run_case_study, args=(library,), rounds=1, iterations=1)
+
+    initial = data["delay_after_pass"][0]
+    rows = []
+    for i, delay in enumerate(data["delay_after_pass"]):
+        rows.append([f"{i} independent passes", f"{delay:.1f}", f"{delay / initial:.3f}"])
+    rows.append(["E-morphic exploration", f"{data['emorphic_delay']:.1f}", f"{data['emorphic_delay'] / initial:.3f}"])
+    print_table("Figure 1: post-mapping delay vs optimization passes", ["configuration", "delay (ps)", "normalised"], rows)
+    RESULTS_PATH.write_text(json.dumps(data, indent=2))
+
+    passes = data["delay_after_pass"]
+    # Independent optimization converges: repeated passes stop producing large
+    # gains (the tail of the series stays within a small band of its minimum).
+    tail = passes[-2:]
+    assert max(tail) <= min(passes) * 1.25
+    # E-morphic's exploration lands at or near the converged optimum (within
+    # 10%), and strictly below it when the circuit has structural headroom.
+    assert data["emorphic_delay"] <= min(passes) * 1.10

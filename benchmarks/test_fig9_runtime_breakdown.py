@@ -1,0 +1,75 @@
+"""Figure 9: runtime breakdown of the E-morphic flow.
+
+For each circuit the harness reports what fraction of the total runtime is
+spent in (a) the conventional ABC-style delay-oriented flow, (b) e-graph
+conversion, and (c) SA extraction — once with the mapping (ABC-style) cost
+model and once with the ML cost model.  The paper's observation to reproduce:
+the e-graph-specific overhead (conversion + extraction) is a moderate share,
+and the conversion share is negligible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.flows.emorphic import run_emorphic_flow
+
+from conftest import bench_circuits, fast_emorphic_config, print_table
+
+RESULTS_PATH = Path(__file__).parent / "results_fig9.json"
+
+#: A representative subset (small / medium / large, arithmetic and control)
+#: keeps the double sweep affordable; set EMORPHIC_FIG9_ALL=1 for all ten.
+SUBSET = ["adder", "sqrt", "mem_ctrl", "multiplier"]
+
+
+def _breakdown(result) -> dict:
+    parts = result.runtime_breakdown()
+    total = sum(parts.values()) or 1.0
+    return {name: 100.0 * value / total for name, value in parts.items()}
+
+
+def _run(trained_cost_model) -> dict:
+    import os
+
+    names = None if os.environ.get("EMORPHIC_FIG9_ALL") else SUBSET
+    circuits = bench_circuits(names)
+    rows = {}
+    for name, aig in circuits.items():
+        abc_model = run_emorphic_flow(aig, fast_emorphic_config())
+        ml_model = run_emorphic_flow(aig, fast_emorphic_config(use_ml_model=True, ml_model=trained_cost_model))
+        rows[name] = {"abc_cost_model": _breakdown(abc_model), "ml_cost_model": _breakdown(ml_model)}
+    return rows
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_runtime_breakdown(benchmark, trained_cost_model):
+    rows = benchmark.pedantic(_run, args=(trained_cost_model,), rounds=1, iterations=1)
+
+    header = ["Circuit", "cost model", "ABC flow %", "conversion %", "SA extraction %"]
+    table = []
+    for name, row in rows.items():
+        for mode in ("abc_cost_model", "ml_cost_model"):
+            parts = row[mode]
+            table.append(
+                [
+                    name,
+                    "ABC map" if mode == "abc_cost_model" else "ML model",
+                    f"{parts['abc_flow']:.1f}",
+                    f"{parts['egraph_conversion']:.1f}",
+                    f"{parts['sa_extraction']:.1f}",
+                ]
+            )
+    print_table("Figure 9: runtime breakdown of E-morphic", header, table)
+    RESULTS_PATH.write_text(json.dumps(rows, indent=2))
+
+    for name, row in rows.items():
+        for mode in ("abc_cost_model", "ml_cost_model"):
+            parts = row[mode]
+            assert abs(sum(parts.values()) - 100.0) < 1e-6
+            # Conversion is the negligible component, as in the paper.
+            assert parts["egraph_conversion"] <= parts["sa_extraction"] + parts["abc_flow"]
+            assert parts["egraph_conversion"] < 20.0

@@ -1,0 +1,128 @@
+"""Table III: e-graph <-> circuit conversion time, E-Syn path vs DAG-to-DAG.
+
+For every benchmark circuit the harness measures:
+
+* the E-Syn-style S-expression path (flatten each output cone into a nested
+  expression, duplicating shared nodes) under a time and size budget,
+  reporting TO (timeout) / MO (out-of-memory) when the budget is exceeded —
+  exactly how the paper reports the large circuits; and
+* the direct DAG-to-DAG conversion (forward: AIG -> e-graph, backward:
+  e-graph -> AIG), which stays linear in the circuit size.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.conversion.dag2eg import aig_to_egraph
+from repro.conversion.eg2dag import egraph_to_aig
+from repro.conversion.sexpr import ConversionBudgetExceeded, aig_to_sexpr, sexpr_to_aig
+
+from conftest import TABLE_CIRCUITS, bench_circuits, geomean, print_table
+
+RESULTS_PATH = Path(__file__).parent / "results_tab3.json"
+
+#: Budgets for the S-expression baseline (scaled down from the paper's
+#: 3600 s / 8 GB to keep the harness fast; the blow-up happens either way).
+SEXPR_TIME_LIMIT = 5.0
+SEXPR_SIZE_LIMIT = 20_000_000  # characters, ~20 MB of expression text
+
+
+def _measure_circuit(aig) -> dict:
+    # E-Syn path: flatten every output; abort on the first budget violation.
+    sexpr_forward = None
+    sexpr_backward = None
+    sexpr_status = "ok"
+    start = time.perf_counter()
+    expressions = []
+    try:
+        for out_idx in range(aig.num_pos):
+            expressions.append(
+                aig_to_sexpr(aig, output_index=out_idx, time_limit=SEXPR_TIME_LIMIT, size_limit=SEXPR_SIZE_LIMIT)
+            )
+            if time.perf_counter() - start > SEXPR_TIME_LIMIT:
+                raise ConversionBudgetExceeded("timeout")
+        sexpr_forward = time.perf_counter() - start
+        start = time.perf_counter()
+        for expr in expressions:
+            sexpr_to_aig(expr, time_limit=SEXPR_TIME_LIMIT)
+            if time.perf_counter() - start > SEXPR_TIME_LIMIT:
+                raise ConversionBudgetExceeded("timeout")
+        sexpr_backward = time.perf_counter() - start
+    except ConversionBudgetExceeded as exc:
+        sexpr_status = "TO" if exc.reason == "timeout" else "MO"
+
+    # Direct DAG-to-DAG conversion.
+    start = time.perf_counter()
+    circuit = aig_to_egraph(aig)
+    forward = time.perf_counter() - start
+    num_enodes = circuit.egraph.num_nodes
+    start = time.perf_counter()
+    egraph_to_aig(circuit)
+    backward = time.perf_counter() - start
+    return {
+        "e_nodes": num_enodes,
+        "sexpr_status": sexpr_status,
+        "sexpr_forward": sexpr_forward,
+        "sexpr_backward": sexpr_backward,
+        "dag2dag_forward": forward,
+        "dag2dag_backward": backward,
+    }
+
+
+def _run_table() -> dict:
+    return {name: _measure_circuit(aig) for name, aig in bench_circuits(TABLE_CIRCUITS).items()}
+
+
+@pytest.mark.benchmark(group="tab3")
+def test_tab3_conversion_comparison(benchmark):
+    rows = benchmark.pedantic(_run_table, rounds=1, iterations=1)
+
+    header = ["Design", "#e-nodes", "E-Syn fwd (s)", "E-Syn bwd (s)", "DAG2DAG fwd (s)", "DAG2DAG bwd (s)"]
+    table = []
+    for name, row in rows.items():
+        if row["sexpr_status"] == "ok":
+            esyn_fwd = f"{row['sexpr_forward']:.2f}"
+            esyn_bwd = f"{row['sexpr_backward']:.2f}"
+        else:
+            esyn_fwd = row["sexpr_status"]
+            esyn_bwd = "N.A."
+        table.append(
+            [
+                name,
+                row["e_nodes"],
+                esyn_fwd,
+                esyn_bwd,
+                f"{row['dag2dag_forward']:.3f}",
+                f"{row['dag2dag_backward']:.3f}",
+            ]
+        )
+    table.append(
+        [
+            "GEOMEAN",
+            "-",
+            "-",
+            "-",
+            f"{geomean([r['dag2dag_forward'] for r in rows.values()]):.3f}",
+            f"{geomean([r['dag2dag_backward'] for r in rows.values()]):.3f}",
+        ]
+    )
+    print_table("Table III: e-graph/circuit conversion time", header, table)
+    RESULTS_PATH.write_text(json.dumps(rows, indent=2))
+
+    # Shape checks: DAG-to-DAG always completes, and whenever the S-expression
+    # path completes at all it is never faster than the direct conversion.
+    for name, row in rows.items():
+        assert row["dag2dag_forward"] >= 0 and row["dag2dag_backward"] >= 0
+        if row["sexpr_status"] == "ok":
+            assert row["sexpr_forward"] >= row["dag2dag_forward"] * 0.5
+    # At least the multiplier-family circuits must show the blow-up or a large gap.
+    slowdowns = [
+        (r["sexpr_forward"] / r["dag2dag_forward"]) if r["sexpr_status"] == "ok" else float("inf")
+        for r in rows.values()
+    ]
+    assert max(slowdowns) > 3.0

@@ -1,0 +1,42 @@
+"""E-morphic reproduction: scalable equality saturation for logic synthesis.
+
+The package is organised into substrates (``aig``, ``opt``, ``mapping``,
+``egraph``, ``verify``, ``benchgen``) and the E-morphic contribution itself
+(``conversion``, ``extraction``, ``costmodel``, ``flows``).
+
+Quick start::
+
+    from repro import benchgen, flows
+    aig = benchgen.epfl.build("adder", width=16)
+    result = flows.emorphic.run_emorphic_flow(aig)
+    print(result.area, result.delay)
+"""
+
+from repro import (
+    aig,
+    benchgen,
+    conversion,
+    costmodel,
+    egraph,
+    extraction,
+    flows,
+    mapping,
+    opt,
+    verify,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "aig",
+    "benchgen",
+    "conversion",
+    "costmodel",
+    "egraph",
+    "extraction",
+    "flows",
+    "mapping",
+    "opt",
+    "verify",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""And-Inverter Graph (AIG) data structure and utilities.
+
+The AIG is the subject graph used throughout the flows: technology-independent
+optimization, e-graph conversion, and technology mapping all operate on it.
+"""
+
+from repro.aig.graph import Aig, AigNode, lit_compl, lit_is_compl, lit_not, lit_var, var_lit
+from repro.aig.levels import compute_levels, critical_path, logic_depth
+from repro.aig.simulate import random_simulate, simulate
+
+__all__ = [
+    "Aig",
+    "AigNode",
+    "lit_compl",
+    "lit_is_compl",
+    "lit_not",
+    "lit_var",
+    "var_lit",
+    "compute_levels",
+    "critical_path",
+    "logic_depth",
+    "simulate",
+    "random_simulate",
+]

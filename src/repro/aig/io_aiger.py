@@ -1,0 +1,111 @@
+"""ASCII AIGER (``.aag``) reader and writer.
+
+Only the combinational subset is supported (no latches), which is all the
+flows in this repository need.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.aig.graph import Aig, lit_is_compl, lit_var, var_lit
+
+
+def write_aag(aig: Aig, path: Union[str, Path]) -> None:
+    """Write an AIG to an ASCII AIGER file."""
+    path = Path(path)
+    # Variables in AIGER must be numbered: PIs first, then ANDs, consecutively.
+    old2new = {0: 0}
+    next_var = 1
+    for var in aig.pis:
+        old2new[var] = next_var
+        next_var += 1
+    and_nodes = list(aig.and_nodes())
+    for node in and_nodes:
+        old2new[node.var] = next_var
+        next_var += 1
+
+    def map_lit(lit: int) -> int:
+        return var_lit(old2new[lit_var(lit)], lit_is_compl(lit))
+
+    max_var = next_var - 1
+    lines = [f"aag {max_var} {aig.num_pis} 0 {aig.num_pos} {len(and_nodes)}"]
+    for var in aig.pis:
+        lines.append(str(var_lit(old2new[var])))
+    for lit, _ in aig.pos:
+        lines.append(str(map_lit(lit)))
+    for node in and_nodes:
+        lines.append(f"{var_lit(old2new[node.var])} {map_lit(node.fanin0)} {map_lit(node.fanin1)}")
+    for i, var in enumerate(aig.pis):
+        name = aig.node(var).name
+        if name:
+            lines.append(f"i{i} {name}")
+    for i, (_, name) in enumerate(aig.pos):
+        if name:
+            lines.append(f"o{i} {name}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def read_aag(path: Union[str, Path]) -> Aig:
+    """Read an ASCII AIGER file into an AIG."""
+    path = Path(path)
+    lines = [ln.strip() for ln in path.read_text().splitlines() if ln.strip()]
+    header = lines[0].split()
+    if header[0] != "aag":
+        raise ValueError("only ASCII AIGER (aag) is supported")
+    _, max_var, num_pis, num_latches, num_pos, num_ands = header[:6]
+    num_pis, num_latches, num_pos, num_ands = map(int, (num_pis, num_latches, num_pos, num_ands))
+    if num_latches:
+        raise ValueError("latches are not supported")
+
+    aig = Aig(name=path.stem)
+    idx = 1
+    file2lit = {0: 0, 1: 1}
+    pi_lines: List[int] = []
+    for _ in range(num_pis):
+        pi_lines.append(int(lines[idx]))
+        idx += 1
+    po_lines: List[int] = []
+    for _ in range(num_pos):
+        po_lines.append(int(lines[idx]))
+        idx += 1
+    and_lines = []
+    for _ in range(num_ands):
+        parts = lines[idx].split()
+        and_lines.append((int(parts[0]), int(parts[1]), int(parts[2])))
+        idx += 1
+
+    # Symbol table.
+    pi_names = {}
+    po_names = {}
+    while idx < len(lines):
+        line = lines[idx]
+        idx += 1
+        if line.startswith("i"):
+            pos, name = line[1:].split(" ", 1)
+            pi_names[int(pos)] = name
+        elif line.startswith("o"):
+            pos, name = line[1:].split(" ", 1)
+            po_names[int(pos)] = name
+        elif line == "c":
+            break
+
+    for i, file_lit in enumerate(pi_lines):
+        lit = aig.add_pi(pi_names.get(i))
+        file2lit[file_lit] = lit
+        file2lit[file_lit ^ 1] = lit ^ 1
+
+    def resolve(file_lit: int) -> int:
+        if file_lit in file2lit:
+            return file2lit[file_lit]
+        raise ValueError(f"literal {file_lit} used before definition")
+
+    for out_lit, f0, f1 in and_lines:
+        lit = aig.add_and(resolve(f0), resolve(f1))
+        file2lit[out_lit] = lit
+        file2lit[out_lit ^ 1] = lit ^ 1
+
+    for i, file_lit in enumerate(po_lines):
+        aig.add_po(resolve(file_lit), po_names.get(i))
+    return aig

@@ -1,0 +1,158 @@
+"""Equation (EQN) format reader and writer.
+
+The equation format is the textual form E-Syn and E-morphic use when talking
+to ABC: each line assigns a Boolean expression over previously defined signals
+using ``*`` (AND), ``+`` (OR) and ``!`` (NOT).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.aig.graph import Aig, lit_is_compl, lit_not, lit_var
+
+
+def write_eqn(aig: Aig, path: Union[str, Path, None] = None) -> str:
+    """Serialise an AIG into equation format; optionally write to ``path``."""
+    lines: List[str] = []
+    names: Dict[int, str] = {0: "CONST0"}
+    in_names = []
+    for i, var in enumerate(aig.pis):
+        name = aig.node(var).name or f"pi{i}"
+        names[var] = name
+        in_names.append(name)
+    out_names = [(name or f"po{i}") for i, (_, name) in enumerate(aig.pos)]
+    lines.append("INORDER = " + " ".join(in_names) + ";")
+    lines.append("OUTORDER = " + " ".join(out_names) + ";")
+
+    def lit_str(lit: int) -> str:
+        base = names[lit_var(lit)]
+        return f"!{base}" if lit_is_compl(lit) else base
+
+    for node in aig.and_nodes():
+        name = f"n{node.var}"
+        names[node.var] = name
+        lines.append(f"{name} = {lit_str(node.fanin0)} * {lit_str(node.fanin1)};")
+    for i, (lit, _) in enumerate(aig.pos):
+        if lit == 0:
+            rhs = "CONST0"
+        elif lit == 1:
+            rhs = "!CONST0"
+        else:
+            rhs = lit_str(lit)
+        lines.append(f"{out_names[i]} = {rhs};")
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+_TOKEN_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9\[\].]*|[()!*+])")
+
+
+class _EqnParser:
+    """Recursive-descent parser for equation expressions."""
+
+    def __init__(self, text: str, aig: Aig, names: Dict[str, int]):
+        self.tokens = self._tokenize(text)
+        self.pos = 0
+        self.aig = aig
+        self.names = names
+
+    @staticmethod
+    def _tokenize(text: str) -> List[str]:
+        tokens = []
+        idx = 0
+        while idx < len(text):
+            m = _TOKEN_RE.match(text, idx)
+            if not m:
+                raise ValueError(f"cannot tokenize equation near: {text[idx:idx+20]!r}")
+            tokens.append(m.group(1))
+            idx = m.end()
+        return tokens
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def parse_expr(self) -> int:
+        """expr := term ('+' term)*"""
+        lit = self.parse_term()
+        while self.peek() == "+":
+            self.next()
+            rhs = self.parse_term()
+            lit = self.aig.add_or(lit, rhs)
+        return lit
+
+    def parse_term(self) -> int:
+        """term := factor ('*' factor)*"""
+        lit = self.parse_factor()
+        while self.peek() == "*":
+            self.next()
+            rhs = self.parse_factor()
+            lit = self.aig.add_and(lit, rhs)
+        return lit
+
+    def parse_factor(self) -> int:
+        tok = self.next()
+        if tok == "!":
+            return lit_not(self.parse_factor())
+        if tok == "(":
+            lit = self.parse_expr()
+            if self.next() != ")":
+                raise ValueError("unbalanced parentheses in equation")
+            return lit
+        if tok == "CONST0":
+            return 0
+        if tok == "CONST1":
+            return 1
+        if tok not in self.names:
+            raise ValueError(f"signal {tok!r} used before definition")
+        return self.names[tok]
+
+
+def read_eqn(source: Union[str, Path]) -> Aig:
+    """Parse equation text (or a path to an ``.eqn`` file) into an AIG."""
+    if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source and source.endswith(".eqn")):
+        text = Path(source).read_text()
+        name = Path(source).stem
+    else:
+        text = str(source)
+        name = "eqn"
+    statements = [s.strip() for s in text.split(";") if s.strip()]
+    aig = Aig(name=name)
+    names: Dict[str, int] = {}
+    outorder: List[str] = []
+    assignments: Dict[str, int] = {}
+    for stmt in statements:
+        lhs, _, rhs = stmt.partition("=")
+        lhs = lhs.strip()
+        rhs = rhs.strip()
+        if lhs == "INORDER":
+            for in_name in rhs.split():
+                names[in_name] = aig.add_pi(in_name)
+        elif lhs == "OUTORDER":
+            outorder = rhs.split()
+        else:
+            parser = _EqnParser(rhs, aig, names)
+            lit = parser.parse_expr()
+            names[lhs] = lit
+            assignments[lhs] = lit
+    if not outorder:
+        outorder = list(assignments)
+    for out_name in outorder:
+        if out_name not in names:
+            raise ValueError(f"output {out_name!r} never assigned")
+        aig.add_po(names[out_name], out_name)
+    return aig
+
+
+def roundtrip_eqn(aig: Aig) -> Aig:
+    """Write the AIG to equation text and parse it back (used in tests)."""
+    return read_eqn(write_eqn(aig))

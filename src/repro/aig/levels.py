@@ -1,0 +1,73 @@
+"""Level (logic depth) computations on AIGs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.aig.graph import Aig, lit_var
+
+
+def compute_levels(aig: Aig) -> List[int]:
+    """Return the level of every variable (PIs and constant are level 0)."""
+    levels = [0] * aig.num_nodes
+    for node in aig.and_nodes():
+        levels[node.var] = 1 + max(levels[lit_var(node.fanin0)], levels[lit_var(node.fanin1)])
+    return levels
+
+
+def logic_depth(aig: Aig) -> int:
+    """Maximum level over all primary outputs."""
+    if not aig.pos:
+        return 0
+    levels = compute_levels(aig)
+    return max(levels[lit_var(lit)] for lit, _ in aig.pos)
+
+
+def critical_path(aig: Aig) -> List[int]:
+    """Return the variables on one critical (deepest) path, PI first."""
+    if not aig.pos:
+        return []
+    levels = compute_levels(aig)
+    # Start from the deepest PO driver.
+    start = max((lit_var(lit) for lit, _ in aig.pos), key=lambda v: levels[v])
+    path = [start]
+    var = start
+    while aig.node(var).is_and:
+        node = aig.node(var)
+        v0, v1 = lit_var(node.fanin0), lit_var(node.fanin1)
+        var = v0 if levels[v0] >= levels[v1] else v1
+        path.append(var)
+    path.reverse()
+    return path
+
+
+def required_times(aig: Aig, levels: List[int] | None = None) -> List[int]:
+    """Required arrival levels assuming all POs are required at the depth."""
+    if levels is None:
+        levels = compute_levels(aig)
+    depth = max((levels[lit_var(lit)] for lit, _ in aig.pos), default=0)
+    required = [depth] * aig.num_nodes
+    for lit, _ in aig.pos:
+        required[lit_var(lit)] = depth
+    for node in reversed(list(aig.and_nodes())):
+        req = required[node.var]
+        for fanin in (node.fanin0, node.fanin1):
+            fv = lit_var(fanin)
+            required[fv] = min(required[fv], req - 1)
+    return required
+
+
+def slack(aig: Aig) -> Dict[int, int]:
+    """Per-variable slack (required - arrival)."""
+    levels = compute_levels(aig)
+    req = required_times(aig, levels)
+    return {v: req[v] - levels[v] for v in range(aig.num_nodes)}
+
+
+def level_histogram(aig: Aig) -> Dict[int, int]:
+    """Histogram of AND-node levels (level -> count)."""
+    levels = compute_levels(aig)
+    hist: Dict[int, int] = {}
+    for node in aig.and_nodes():
+        hist[levels[node.var]] = hist.get(levels[node.var], 0) + 1
+    return hist

@@ -1,0 +1,14 @@
+"""Synthetic benchmark circuit generators (EPFL-suite stand-ins).
+
+The EPFL combinational benchmark suite is not redistributable inside this
+repository, so each of its circuits is replaced by a functionally defined
+generator of the same family (adder, multiplier, divider, square root,
+square, log2/sin/hyp approximations, arbiter, memory controller) at
+Python-feasible sizes.  The registry in :mod:`repro.benchgen.epfl` mirrors
+the ten circuits used in the paper's Table II.
+"""
+
+from repro.benchgen import arithmetic, control, epfl
+from repro.benchgen.epfl import available_circuits, build, circuit_suite
+
+__all__ = ["arithmetic", "control", "epfl", "build", "available_circuits", "circuit_suite"]

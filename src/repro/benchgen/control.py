@@ -1,0 +1,118 @@
+"""Control-dominated benchmark circuit generators (arbiter, memory controller)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.aig.graph import Aig, lit_not
+
+
+def arbiter(num_requesters: int = 32) -> Aig:
+    """A priority arbiter with a rotating-priority hint (EPFL ``arbiter`` analogue).
+
+    Each requester raises a request line; the grant goes to the highest
+    priority active request, where the priority order is rotated by a small
+    pointer input — the combinational core of a round-robin arbiter.
+    """
+    pointer_bits = max(1, (num_requesters - 1).bit_length())
+    aig = Aig(name=f"arbiter{num_requesters}")
+    requests = [aig.add_pi(f"req{i}") for i in range(num_requesters)]
+    pointer = [aig.add_pi(f"ptr{i}") for i in range(pointer_bits)]
+
+    def pointer_equals(value: int) -> int:
+        bits = []
+        for b in range(pointer_bits):
+            bit = pointer[b]
+            bits.append(bit if (value >> b) & 1 else lit_not(bit))
+        return aig.add_and_multi(bits)
+
+    grants: List[int] = [0] * num_requesters
+    for start in range(num_requesters):
+        is_start = pointer_equals(start)
+        taken = 0
+        for offset in range(num_requesters):
+            idx = (start + offset) % num_requesters
+            grant_here = aig.add_and(requests[idx], lit_not(taken))
+            grants[idx] = aig.add_or(grants[idx], aig.add_and(is_start, grant_here))
+            taken = aig.add_or(taken, requests[idx])
+    any_grant = aig.add_or_multi(grants)
+    for i, g in enumerate(grants):
+        aig.add_po(g, f"grant{i}")
+    aig.add_po(any_grant, "busy")
+    return aig.cleanup()
+
+
+def mem_ctrl(num_banks: int = 4, addr_bits: int = 8, num_requesters: int = 4, seed: int = 3) -> Aig:
+    """A combinational slice of a memory controller (EPFL ``mem_ctrl`` analogue).
+
+    Contains the structures that dominate the real design: address decoding
+    per bank, request arbitration, byte-enable masking and a scattering of
+    random control terms standing in for the configuration logic.
+    """
+    rng = random.Random(seed)
+    aig = Aig(name=f"mem_ctrl_{num_banks}x{addr_bits}")
+    addr = [aig.add_pi(f"addr{i}") for i in range(addr_bits)]
+    requests = [aig.add_pi(f"req{i}") for i in range(num_requesters)]
+    write_en = aig.add_pi("we")
+    byte_en = [aig.add_pi(f"be{i}") for i in range(4)]
+    config = [aig.add_pi(f"cfg{i}") for i in range(8)]
+
+    bank_bits = max(1, (num_banks - 1).bit_length())
+
+    def bank_select(bank: int) -> int:
+        bits = []
+        for b in range(bank_bits):
+            bit = addr[b]
+            bits.append(bit if (bank >> b) & 1 else lit_not(bit))
+        return aig.add_and_multi(bits)
+
+    # Priority arbitration among requesters.
+    grants: List[int] = []
+    taken = 0
+    for req in requests:
+        grant = aig.add_and(req, lit_not(taken))
+        grants.append(grant)
+        taken = aig.add_or(taken, req)
+
+    # Per-bank command generation.
+    for bank in range(num_banks):
+        selected = bank_select(bank)
+        active = aig.add_and(selected, taken)
+        read_cmd = aig.add_and(active, lit_not(write_en))
+        write_cmd = aig.add_and(active, write_en)
+        aig.add_po(read_cmd, f"rd_bank{bank}")
+        aig.add_po(write_cmd, f"wr_bank{bank}")
+        # Byte lane strobes gated by configuration bits.
+        for lane, be in enumerate(byte_en):
+            cfg_bit = config[(bank + lane) % len(config)]
+            strobe = aig.add_and(write_cmd, aig.add_and(be, cfg_bit))
+            aig.add_po(strobe, f"dqm_bank{bank}_lane{lane}")
+
+    # Random control terms standing in for refresh/timing configuration logic.
+    pool = addr + requests + byte_en + config + [write_en]
+    for term in range(num_banks * 4):
+        k = rng.randint(3, 6)
+        chosen = rng.sample(pool, k)
+        literals = [c if rng.random() < 0.5 else lit_not(c) for c in chosen]
+        conj = aig.add_and_multi(literals)
+        if term % 3 == 0:
+            conj = aig.add_or(conj, grants[term % len(grants)])
+        aig.add_po(conj, f"ctl{term}")
+    return aig.cleanup()
+
+
+def random_control(num_inputs: int = 24, num_outputs: int = 16, terms_per_output: int = 6, seed: int = 11) -> Aig:
+    """Random two-level control logic, used for tests and as training data."""
+    rng = random.Random(seed)
+    aig = Aig(name=f"random_control_{num_inputs}x{num_outputs}")
+    inputs = [aig.add_pi(f"x{i}") for i in range(num_inputs)]
+    for out in range(num_outputs):
+        terms = []
+        for _ in range(terms_per_output):
+            k = rng.randint(2, 5)
+            chosen = rng.sample(inputs, k)
+            literals = [c if rng.random() < 0.5 else lit_not(c) for c in chosen]
+            terms.append(aig.add_and_multi(literals))
+        aig.add_po(aig.add_or_multi(terms), f"y{out}")
+    return aig.cleanup()

@@ -1,0 +1,104 @@
+"""Registry of EPFL-like benchmark circuits.
+
+The ten circuits of the paper's Table II, replaced by synthetic generators
+of the same family.  Two size presets exist: ``"test"`` (tiny, for unit
+tests) and ``"bench"`` (the default experiment scale, chosen so the whole
+Table II harness finishes in minutes of pure Python).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.aig.graph import Aig
+from repro.benchgen import arithmetic, control
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """A named benchmark circuit with per-preset constructor arguments."""
+
+    name: str
+    family: str  # "arithmetic" or "control"
+    builder: Callable[..., Aig]
+    test_kwargs: Dict[str, int]
+    bench_kwargs: Dict[str, int]
+
+
+_REGISTRY: Dict[str, CircuitSpec] = {}
+
+
+def _register(spec: CircuitSpec) -> None:
+    _REGISTRY[spec.name] = spec
+
+
+_register(CircuitSpec("adder", "arithmetic", arithmetic.adder, {"width": 8}, {"width": 32}))
+_register(CircuitSpec("multiplier", "arithmetic", arithmetic.multiplier, {"width": 4}, {"width": 8}))
+_register(CircuitSpec("square", "arithmetic", arithmetic.square, {"width": 4}, {"width": 8}))
+_register(CircuitSpec("div", "arithmetic", arithmetic.divider, {"width": 4}, {"width": 8}))
+_register(CircuitSpec("sqrt", "arithmetic", arithmetic.sqrt, {"width": 6}, {"width": 12}))
+_register(CircuitSpec("log2", "arithmetic", arithmetic.log2_approx, {"width": 5}, {"width": 9}))
+_register(CircuitSpec("sin", "arithmetic", arithmetic.sin_approx, {"width": 5}, {"width": 8}))
+_register(CircuitSpec("hyp", "arithmetic", arithmetic.hyp_approx, {"width": 4, "stages": 2}, {"width": 6, "stages": 3}))
+_register(CircuitSpec("arbiter", "control", control.arbiter, {"num_requesters": 8}, {"num_requesters": 20}))
+_register(
+    CircuitSpec(
+        "mem_ctrl",
+        "control",
+        control.mem_ctrl,
+        {"num_banks": 2, "addr_bits": 6, "num_requesters": 3},
+        {"num_banks": 4, "addr_bits": 10, "num_requesters": 6},
+    )
+)
+
+#: The order used by the paper's tables (largest first, as in Table III).
+PAPER_ORDER: List[str] = [
+    "hyp",
+    "div",
+    "mem_ctrl",
+    "log2",
+    "multiplier",
+    "sqrt",
+    "square",
+    "arbiter",
+    "sin",
+    "adder",
+]
+
+
+def available_circuits() -> List[str]:
+    """Names of all registered circuits (paper order)."""
+    return list(PAPER_ORDER)
+
+
+def build(name: str, preset: str = "bench", **overrides) -> Aig:
+    """Build one benchmark circuit by name.
+
+    ``preset`` is "test" or "bench"; keyword overrides go straight to the
+    generator (e.g. ``build("adder", width=16)``).
+    """
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown circuit {name!r}; available: {available_circuits()}")
+    spec = _REGISTRY[name]
+    if preset == "test":
+        kwargs = dict(spec.test_kwargs)
+    elif preset == "bench":
+        kwargs = dict(spec.bench_kwargs)
+    else:
+        raise ValueError(f"unknown preset {preset!r} (use 'test' or 'bench')")
+    kwargs.update(overrides)
+    aig = spec.builder(**kwargs)
+    aig.name = name
+    return aig
+
+
+def circuit_suite(preset: str = "bench", names: Optional[List[str]] = None) -> Dict[str, Aig]:
+    """Build the whole suite (or a named subset) at the given preset."""
+    names = names or available_circuits()
+    return {name: build(name, preset=preset) for name in names}
+
+
+def circuit_family(name: str) -> str:
+    """Family ("arithmetic"/"control") of a registered circuit."""
+    return _REGISTRY[name].family

@@ -1,0 +1,143 @@
+"""Command-line interface: ``emorphic <subcommand>``.
+
+Subcommands:
+
+* ``stats``     — print AIG statistics of a benchmark circuit or AIGER file;
+* ``baseline``  — run the delay-oriented baseline flow;
+* ``run``       — run the E-morphic flow;
+* ``compare``   — run both and print the Table II row for one circuit;
+* ``list``      — list available benchmark circuits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.aig.graph import Aig
+from repro.aig.io_aiger import read_aag
+from repro.benchgen import epfl
+from repro.flows.baseline import BaselineConfig, run_baseline_flow
+from repro.flows.emorphic import EmorphicConfig, run_emorphic_flow
+
+
+def _load_circuit(args: argparse.Namespace) -> Aig:
+    if args.circuit.endswith(".aag"):
+        return read_aag(args.circuit)
+    return epfl.build(args.circuit, preset=args.preset)
+
+
+def _add_circuit_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("circuit", help="benchmark name (see 'list') or path to an .aag file")
+    parser.add_argument("--preset", default="test", choices=["test", "bench"], help="benchmark size preset")
+
+
+def cmd_list(_: argparse.Namespace) -> int:
+    for name in epfl.available_circuits():
+        print(f"{name:12s} ({epfl.circuit_family(name)})")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    aig = _load_circuit(args)
+    stats = aig.stats()
+    print(f"{aig.name}: pis={stats['pis']} pos={stats['pos']} ands={stats['ands']} levels={stats['levels']}")
+    return 0
+
+
+def cmd_baseline(args: argparse.Namespace) -> int:
+    aig = _load_circuit(args)
+    config = BaselineConfig(use_choices=not args.no_choices)
+    result = run_baseline_flow(aig, config)
+    print(
+        f"{aig.name}: area={result.area:.2f} um^2  delay={result.delay:.2f} ps  "
+        f"lev={result.levels}  runtime={result.runtime:.2f} s"
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    aig = _load_circuit(args)
+    config = EmorphicConfig(
+        rewrite_iterations=args.iterations,
+        num_threads=args.threads,
+        verify=not args.no_verify,
+    )
+    config.baseline.use_choices = not args.no_choices
+    result = run_emorphic_flow(aig, config)
+    print(
+        f"{aig.name}: area={result.area:.2f} um^2  delay={result.delay:.2f} ps  "
+        f"lev={result.levels}  runtime={result.runtime:.2f} s"
+    )
+    if result.equivalence is not None:
+        print(f"equivalence check: {result.equivalence.status}")
+    breakdown = result.runtime_breakdown()
+    total = sum(breakdown.values()) or 1.0
+    for phase, seconds in breakdown.items():
+        print(f"  {phase:20s} {seconds:8.2f} s ({100 * seconds / total:5.1f}%)")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    aig = _load_circuit(args)
+    baseline = run_baseline_flow(aig, BaselineConfig(use_choices=not args.no_choices))
+    config = EmorphicConfig(verify=not args.no_verify)
+    config.baseline.use_choices = not args.no_choices
+    emorphic = run_emorphic_flow(aig, config)
+    print(f"{'flow':12s} {'area (um^2)':>12s} {'delay (ps)':>12s} {'lev':>6s} {'runtime (s)':>12s}")
+    print(
+        f"{'baseline':12s} {baseline.area:12.2f} {baseline.delay:12.2f} "
+        f"{baseline.levels:6d} {baseline.runtime:12.2f}"
+    )
+    print(
+        f"{'emorphic':12s} {emorphic.area:12.2f} {emorphic.delay:12.2f} "
+        f"{emorphic.levels:6d} {emorphic.runtime:12.2f}"
+    )
+    if baseline.delay > 0:
+        print(f"delay reduction: {100 * (baseline.delay - emorphic.delay) / baseline.delay:.2f}%")
+    if baseline.area > 0:
+        print(f"area saving:     {100 * (baseline.area - emorphic.area) / baseline.area:.2f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="emorphic", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list available benchmark circuits")
+    p_list.set_defaults(func=cmd_list)
+
+    p_stats = sub.add_parser("stats", help="print AIG statistics")
+    _add_circuit_args(p_stats)
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_base = sub.add_parser("baseline", help="run the delay-oriented baseline flow")
+    _add_circuit_args(p_base)
+    p_base.add_argument("--no-choices", action="store_true", help="disable choice computation (dch)")
+    p_base.set_defaults(func=cmd_baseline)
+
+    p_run = sub.add_parser("run", help="run the E-morphic flow")
+    _add_circuit_args(p_run)
+    p_run.add_argument("--iterations", type=int, default=5, help="e-graph rewriting iterations")
+    p_run.add_argument("--threads", type=int, default=4, help="parallel SA extraction threads")
+    p_run.add_argument("--no-verify", action="store_true", help="skip the final equivalence check")
+    p_run.add_argument("--no-choices", action="store_true", help="disable choice computation (dch)")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare baseline and E-morphic on one circuit")
+    _add_circuit_args(p_cmp)
+    p_cmp.add_argument("--no-verify", action="store_true")
+    p_cmp.add_argument("--no-choices", action="store_true")
+    p_cmp.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

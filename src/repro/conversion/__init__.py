@@ -1,0 +1,19 @@
+"""Circuit <-> e-graph conversion.
+
+``dag2eg``/``eg2dag`` implement the paper's direct DAG-to-DAG conversion;
+``sexpr`` implements the S-expression path of E-Syn, kept as the baseline for
+the conversion-time comparison (Table III).
+"""
+
+from repro.conversion.dag2eg import aig_to_egraph
+from repro.conversion.eg2dag import egraph_to_aig, extraction_to_aig
+from repro.conversion.sexpr import aig_to_sexpr, sexpr_to_aig, sexpr_to_egraph
+
+__all__ = [
+    "aig_to_egraph",
+    "egraph_to_aig",
+    "extraction_to_aig",
+    "aig_to_sexpr",
+    "sexpr_to_aig",
+    "sexpr_to_egraph",
+]

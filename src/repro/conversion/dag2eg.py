@@ -1,0 +1,91 @@
+"""Direct DAG-to-DAG conversion: AIG -> e-graph.
+
+Every AIG variable maps to one e-class; complemented edges become NOT
+e-nodes.  Because the mapping is id-to-id (no flattening into trees), the
+conversion is linear in the circuit size — this is the key efficiency
+improvement over the S-expression path of E-Syn (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.aig.graph import Aig, lit_is_compl, lit_var
+from repro.egraph.egraph import EGraph
+from repro.egraph.language import AND, CONST0, CONST1, NOT
+
+
+@dataclass
+class CircuitEGraph:
+    """An e-graph plus the bookkeeping needed to get a circuit back out.
+
+    ``output_classes`` holds one e-class id per primary output (already
+    including any output complementation); ``input_names`` preserves PI order.
+    ``original_choice`` records, per e-class, the e-node that came from the
+    original circuit — extractors use it to seed an "identity" solution whose
+    area matches the pre-resynthesis structure.
+    """
+
+    egraph: EGraph
+    output_classes: List[int] = field(default_factory=list)
+    output_names: List[str] = field(default_factory=list)
+    input_names: List[str] = field(default_factory=list)
+    var_to_class: Dict[int, int] = field(default_factory=dict)
+    original_choice: Dict[int, "object"] = field(default_factory=dict)
+
+    def original_extraction(self) -> Dict[int, "object"]:
+        """The identity extraction (original structure), re-canonicalised."""
+        find = self.egraph.find
+        return {find(cid): enode for cid, enode in self.original_choice.items()}
+
+
+def aig_to_egraph(aig: Aig) -> CircuitEGraph:
+    """Convert an AIG to an e-graph with one e-class per AIG variable."""
+    egraph = EGraph()
+    var_to_class: Dict[int, int] = {}
+    original_choice: Dict[int, object] = {}
+
+    def record(class_id: int) -> int:
+        if class_id not in original_choice:
+            original_choice[class_id] = egraph.classes[egraph.find(class_id)].nodes[0]
+        return class_id
+
+    const0 = record(egraph.add_term(CONST0))
+    var_to_class[0] = const0
+    input_names = []
+    for i, var in enumerate(aig.pis):
+        name = aig.node(var).name or f"pi{i}"
+        input_names.append(name)
+        var_to_class[var] = record(egraph.var(name))
+
+    # Cache NOT wrappers so each complemented edge re-uses one e-class.
+    not_cache: Dict[int, int] = {}
+
+    def lit_class(lit: int) -> int:
+        base = var_to_class[lit_var(lit)]
+        if not lit_is_compl(lit):
+            return base
+        base = egraph.find(base)
+        if base not in not_cache:
+            not_cache[base] = record(egraph.add_term(NOT, [base]))
+        return not_cache[base]
+
+    for node in aig.and_nodes():
+        c0 = lit_class(node.fanin0)
+        c1 = lit_class(node.fanin1)
+        var_to_class[node.var] = record(egraph.add_term(AND, [c0, c1]))
+
+    output_classes = []
+    output_names = []
+    for i, (lit, name) in enumerate(aig.pos):
+        output_classes.append(lit_class(lit))
+        output_names.append(name or f"po{i}")
+    return CircuitEGraph(
+        egraph=egraph,
+        output_classes=output_classes,
+        output_names=output_names,
+        input_names=input_names,
+        var_to_class=var_to_class,
+        original_choice=original_choice,
+    )

@@ -1,0 +1,94 @@
+"""E-graph -> AIG conversion (the "backward" direction of DAG-to-DAG).
+
+Given an extraction (a chosen e-node per e-class), the selected DAG is
+rebuilt as an AIG with structural hashing.  NOT nodes become complemented
+edges, so the result is a proper AIG rather than a netlist with explicit
+inverters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.aig.graph import Aig, lit_not
+from repro.egraph.egraph import EGraph, ENode
+from repro.egraph.language import AND, CONST0, CONST1, NOT, OR, VAR
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.conversion.dag2eg import CircuitEGraph
+
+
+def extraction_to_aig(
+    circuit: "CircuitEGraph",
+    extraction: Dict[int, ENode],
+    name: str = "extracted",
+) -> Aig:
+    """Build an AIG from a chosen e-node per e-class.
+
+    ``extraction`` maps canonical e-class ids to the selected e-node.  Only
+    classes reachable from the circuit outputs are materialised.
+    """
+    egraph = circuit.egraph
+    aig = Aig(name=name)
+    pi_lits: Dict[str, int] = {}
+    for input_name in circuit.input_names:
+        pi_lits[input_name] = aig.add_pi(input_name)
+
+    memo: Dict[int, int] = {}
+
+    def realize(class_id: int) -> int:
+        class_id = egraph.find(class_id)
+        if class_id in memo:
+            return memo[class_id]
+        # Iterative post-order build to avoid deep recursion on large graphs.
+        stack = [(class_id, False)]
+        while stack:
+            cid, expanded = stack.pop()
+            cid = egraph.find(cid)
+            if cid in memo:
+                continue
+            enode = extraction.get(cid)
+            if enode is None:
+                raise KeyError(f"extraction is missing a choice for e-class {cid}")
+            children = [egraph.find(c) for c in enode.children]
+            if not expanded:
+                stack.append((cid, True))
+                for child in children:
+                    if child not in memo:
+                        stack.append((child, False))
+                continue
+            memo[cid] = _build_enode(aig, enode, [memo[c] for c in children], pi_lits)
+        return memo[egraph.find(class_id)]
+
+    for class_id, out_name in zip(circuit.output_classes, circuit.output_names):
+        aig.add_po(realize(class_id), out_name)
+    return aig
+
+
+def _build_enode(aig: Aig, enode: ENode, child_lits, pi_lits: Dict[str, int]) -> int:
+    if enode.op == AND:
+        return aig.add_and(child_lits[0], child_lits[1])
+    if enode.op == OR:
+        return aig.add_or(child_lits[0], child_lits[1])
+    if enode.op == NOT:
+        return lit_not(child_lits[0])
+    if enode.op == VAR:
+        name = enode.payload or ""
+        if name not in pi_lits:
+            pi_lits[name] = aig.add_pi(name)
+        return pi_lits[name]
+    if enode.op == CONST0:
+        return 0
+    if enode.op == CONST1:
+        return 1
+    raise ValueError(f"unsupported operator {enode.op!r} during e-graph to AIG conversion")
+
+
+def egraph_to_aig(circuit: "CircuitEGraph", extraction: Optional[Dict[int, ENode]] = None, name: str = "extracted") -> Aig:
+    """Convert a circuit e-graph back to an AIG, extracting greedily if needed."""
+    if extraction is None:
+        from repro.extraction.greedy import greedy_extract
+        from repro.extraction.cost import NodeCountCost
+
+        extraction = greedy_extract(circuit.egraph, NodeCountCost())
+    return extraction_to_aig(circuit, extraction, name=name)

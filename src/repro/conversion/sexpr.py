@@ -1,0 +1,193 @@
+"""The S-expression conversion path of E-Syn (kept as the Table III baseline).
+
+E-Syn flattens the circuit into a nested-list S-expression before handing it
+to egg.  Because shared nodes must be duplicated, the textual form can grow
+exponentially with circuit depth, which is exactly the bottleneck Table III
+demonstrates.  The functions here implement that path faithfully, with
+explicit size/time guards so the benchmark can report TO/MO outcomes instead
+of hanging.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.aig.graph import Aig, lit_is_compl, lit_var
+from repro.egraph.egraph import EGraph
+from repro.egraph.language import AND, CONST0, CONST1, NOT, OR, VAR
+
+
+class ConversionBudgetExceeded(Exception):
+    """Raised when the S-expression conversion exceeds its time or size budget."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason  # "timeout" or "memout"
+
+
+def aig_to_sexpr(
+    aig: Aig,
+    output_index: int = 0,
+    time_limit: Optional[float] = None,
+    size_limit: Optional[int] = None,
+) -> str:
+    """Flatten one primary output of the AIG into an S-expression string.
+
+    Shared fanout nodes are duplicated, mirroring E-Syn's behaviour.  When
+    ``size_limit`` (in characters) or ``time_limit`` (in seconds) is exceeded,
+    :class:`ConversionBudgetExceeded` is raised.
+    """
+    start = time.perf_counter()
+    lit, _ = aig.pos[output_index]
+    # Iterative expansion with explicit stack; pieces are accumulated and the
+    # total size tracked so the memory guard is honest about the blow-up.
+    pieces: List[str] = []
+    total_size = 0
+
+    def check_budget() -> None:
+        nonlocal total_size
+        if time_limit is not None and time.perf_counter() - start > time_limit:
+            raise ConversionBudgetExceeded("timeout")
+        if size_limit is not None and total_size > size_limit:
+            raise ConversionBudgetExceeded("memout")
+
+    def emit(text: str) -> None:
+        nonlocal total_size
+        pieces.append(text)
+        total_size += len(text)
+        check_budget()
+
+    # Work items: ("lit", literal) expands a literal, ("text", s) emits raw text.
+    stack: List[Tuple[str, object]] = [("lit", lit)]
+    while stack:
+        kind, item = stack.pop()
+        if kind == "text":
+            emit(item)  # type: ignore[arg-type]
+            continue
+        literal = item  # type: ignore[assignment]
+        var = lit_var(literal)
+        node = aig.node(var)
+        if lit_is_compl(literal):
+            emit("(NOT ")
+            stack.append(("text", ")"))
+            stack.append(("lit", literal ^ 1))
+            continue
+        if var == 0:
+            emit("CONST0")
+        elif node.is_pi:
+            emit(node.name or f"pi{var}")
+        else:
+            emit("(AND ")
+            stack.append(("text", ")"))
+            stack.append(("lit", node.fanin1))
+            stack.append(("text", " "))
+            stack.append(("lit", node.fanin0))
+    return "".join(pieces)
+
+
+def _tokenize(text: str) -> List[str]:
+    return text.replace("(", " ( ").replace(")", " ) ").split()
+
+
+def sexpr_to_egraph(
+    text: str,
+    time_limit: Optional[float] = None,
+) -> Tuple[EGraph, int]:
+    """Parse an S-expression into an e-graph; returns (egraph, root class id)."""
+    start = time.perf_counter()
+    tokens = _tokenize(text)
+    egraph = EGraph()
+    pos = 0
+
+    def check_budget() -> None:
+        if time_limit is not None and time.perf_counter() - start > time_limit:
+            raise ConversionBudgetExceeded("timeout")
+
+    def parse() -> int:
+        nonlocal pos
+        check_budget()
+        tok = tokens[pos]
+        pos += 1
+        if tok == "(":
+            op = tokens[pos].upper()
+            pos += 1
+            children = []
+            while tokens[pos] != ")":
+                children.append(parse())
+            pos += 1
+            return egraph.add_term(op, children)
+        if tok.upper() == "CONST0":
+            return egraph.add_term(CONST0)
+        if tok.upper() == "CONST1":
+            return egraph.add_term(CONST1)
+        return egraph.var(tok)
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 100_000))
+    try:
+        root = parse()
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return egraph, root
+
+
+def sexpr_to_aig(
+    text: str,
+    input_names: Optional[List[str]] = None,
+    time_limit: Optional[float] = None,
+    name: str = "from_sexpr",
+) -> Aig:
+    """Rebuild an AIG from an S-expression (single output)."""
+    start = time.perf_counter()
+    tokens = _tokenize(text)
+    aig = Aig(name=name)
+    pi_lits: Dict[str, int] = {}
+    if input_names:
+        for pi_name in input_names:
+            pi_lits[pi_name] = aig.add_pi(pi_name)
+    pos = 0
+
+    def check_budget() -> None:
+        if time_limit is not None and time.perf_counter() - start > time_limit:
+            raise ConversionBudgetExceeded("timeout")
+
+    def parse() -> int:
+        nonlocal pos
+        check_budget()
+        tok = tokens[pos]
+        pos += 1
+        if tok == "(":
+            op = tokens[pos].upper()
+            pos += 1
+            children = []
+            while tokens[pos] != ")":
+                children.append(parse())
+            pos += 1
+            if op == AND:
+                return aig.add_and(children[0], children[1])
+            if op == OR:
+                return aig.add_or(children[0], children[1])
+            if op == NOT:
+                return children[0] ^ 1
+            raise ValueError(f"unsupported operator {op!r} in S-expression")
+        if tok.upper() == "CONST0":
+            return 0
+        if tok.upper() == "CONST1":
+            return 1
+        if tok not in pi_lits:
+            pi_lits[tok] = aig.add_pi(tok)
+        return pi_lits[tok]
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 100_000))
+    try:
+        root = parse()
+    finally:
+        sys.setrecursionlimit(old_limit)
+    aig.add_po(root, "out0")
+    return aig

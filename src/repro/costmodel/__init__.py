@@ -1,0 +1,28 @@
+"""Cost models for QoR evaluation during extraction.
+
+Two modes, matching the paper's dual-model approach:
+
+* quality-prioritized — :class:`MappingCostModel` runs the internal
+  ABC-style technology mapper and reports post-mapping delay/area;
+* runtime-prioritized — :class:`HogaModel` is a hop-wise graph attention
+  regressor (HOGA-like) trained to predict mapped delay from cheap
+  structural features.
+"""
+
+from repro.costmodel.abc_cost import MappingCostModel, QoR
+from repro.costmodel.features import FeatureConfig, circuit_features, node_features
+from repro.costmodel.hoga import HogaModel
+from repro.costmodel.train import TrainReport, evaluate_model, generate_dataset, train_cost_model
+
+__all__ = [
+    "MappingCostModel",
+    "QoR",
+    "FeatureConfig",
+    "node_features",
+    "circuit_features",
+    "HogaModel",
+    "generate_dataset",
+    "train_cost_model",
+    "evaluate_model",
+    "TrainReport",
+]

@@ -1,0 +1,119 @@
+"""Feature extraction for the learned cost model.
+
+Per-node features follow the paper's Fig. 5 ("Node Type, AIG Topo Order,
+Node Depth, Edge List"): node-type one-hots, normalised topological order,
+normalised depth, fanin inversion counts and fanout degree.  Hop-wise
+aggregation (the HOGA idea) is performed by propagating neighbour averages a
+fixed number of hops and concatenating the per-hop summaries, after which the
+circuit-level representation is a fixed-size pooled vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.aig.graph import Aig, lit_is_compl, lit_var
+from repro.aig.levels import compute_levels
+
+#: Per-node base feature dimension.
+NODE_FEATURE_DIM = 8
+
+
+@dataclass
+class FeatureConfig:
+    """Configuration of the hop-wise feature extraction."""
+
+    num_hops: int = 3
+    pooled_stats: Tuple[str, ...] = ("mean", "max")
+
+    @property
+    def circuit_dim(self) -> int:
+        per_hop = NODE_FEATURE_DIM * len(self.pooled_stats)
+        return per_hop * (self.num_hops + 1) + 4  # +4 global scalars
+
+
+def node_features(aig: Aig) -> np.ndarray:
+    """Base per-node features, shape (num_nodes, NODE_FEATURE_DIM)."""
+    n = aig.num_nodes
+    feats = np.zeros((n, NODE_FEATURE_DIM), dtype=np.float64)
+    levels = compute_levels(aig)
+    max_level = max(levels) if levels else 1
+    max_level = max(max_level, 1)
+    fanouts = aig.fanout_counts()
+    max_fanout = max(max(fanouts), 1)
+    for node in aig.nodes:
+        var = node.var
+        feats[var, 0] = 1.0 if node.is_pi else 0.0
+        feats[var, 1] = 1.0 if node.is_and else 0.0
+        feats[var, 2] = 1.0 if node.is_const else 0.0
+        feats[var, 3] = var / max(n - 1, 1)  # topological order, normalised
+        feats[var, 4] = levels[var] / max_level  # depth, normalised
+        feats[var, 5] = fanouts[var] / max_fanout
+        if node.is_and:
+            inverted = int(lit_is_compl(node.fanin0)) + int(lit_is_compl(node.fanin1))
+            feats[var, 6] = inverted / 2.0
+            feats[var, 7] = 1.0 if lit_var(node.fanin0) == lit_var(node.fanin1) else 0.0
+    return feats
+
+
+def _adjacency(aig: Aig) -> List[List[int]]:
+    """Undirected neighbour lists (fanins and fanouts)."""
+    neighbors: List[List[int]] = [[] for _ in range(aig.num_nodes)]
+    for node in aig.and_nodes():
+        for fanin in (node.fanin0, node.fanin1):
+            fv = lit_var(fanin)
+            neighbors[node.var].append(fv)
+            neighbors[fv].append(node.var)
+    return neighbors
+
+
+def hop_features(aig: Aig, config: FeatureConfig) -> np.ndarray:
+    """Hop-wise node features: shape (num_nodes, NODE_FEATURE_DIM * (num_hops+1)).
+
+    Hop 0 is the node's own features; hop k averages the features of nodes k
+    edges away (approximated by repeated neighbour averaging, the standard
+    propagation trick HOGA precomputes offline).
+    """
+    base = node_features(aig)
+    neighbors = _adjacency(aig)
+    hops = [base]
+    current = base
+    for _ in range(config.num_hops):
+        nxt = np.zeros_like(current)
+        for var, neigh in enumerate(neighbors):
+            if neigh:
+                nxt[var] = current[neigh].mean(axis=0)
+        hops.append(nxt)
+        current = nxt
+    return np.concatenate(hops, axis=1)
+
+
+def circuit_features(aig: Aig, config: FeatureConfig | None = None) -> np.ndarray:
+    """Fixed-size circuit-level feature vector for the regressor."""
+    if config is None:
+        config = FeatureConfig()
+    per_node = hop_features(aig, config)
+    pooled: List[np.ndarray] = []
+    for stat in config.pooled_stats:
+        if per_node.size == 0:
+            pooled.append(np.zeros(per_node.shape[1]))
+        elif stat == "mean":
+            pooled.append(per_node.mean(axis=0))
+        elif stat == "max":
+            pooled.append(per_node.max(axis=0))
+        else:
+            raise ValueError(f"unknown pooling stat {stat!r}")
+    levels = compute_levels(aig)
+    depth = max((levels[lit_var(lit)] for lit, _ in aig.pos), default=0)
+    global_scalars = np.array(
+        [
+            np.log1p(aig.num_ands),
+            np.log1p(depth),
+            np.log1p(aig.num_pis),
+            np.log1p(aig.num_pos),
+        ]
+    )
+    return np.concatenate(pooled + [global_scalars])

@@ -1,0 +1,174 @@
+"""A HOGA-like learned cost model (hop-wise features + gated MLP regressor).
+
+HOGA (Deng et al., DAC'24) precomputes hop-wise neighbour aggregates so that
+training and inference need no message passing, then combines the hops with
+a lightweight attention layer.  This NumPy reimplementation keeps the same
+structure at a smaller scale: hop-wise pooled features enter a two-layer MLP
+with a softmax gate over the hop blocks, trained with Adam on a log-delay
+regression objective.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.aig.graph import Aig
+from repro.costmodel.features import FeatureConfig, circuit_features
+
+
+@dataclass
+class HogaConfig:
+    """Hyper-parameters of the regressor."""
+
+    hidden_dim: int = 32
+    learning_rate: float = 1e-2
+    epochs: int = 300
+    batch_size: int = 32
+    l2: float = 1e-4
+    seed: int = 0
+    feature_config: FeatureConfig = field(default_factory=FeatureConfig)
+
+
+class HogaModel:
+    """Gated two-layer MLP over hop-wise circuit features, predicting mapped delay."""
+
+    def __init__(self, config: Optional[HogaConfig] = None):
+        self.config = config or HogaConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self.input_dim: Optional[int] = None
+        self.w1: Optional[np.ndarray] = None
+        self.b1: Optional[np.ndarray] = None
+        self.w2: Optional[np.ndarray] = None
+        self.b2: Optional[np.ndarray] = None
+        self.gate: Optional[np.ndarray] = None
+        self.x_mean: Optional[np.ndarray] = None
+        self.x_std: Optional[np.ndarray] = None
+
+    # -- feature plumbing -------------------------------------------------------
+
+    def featurize(self, aig: Aig) -> np.ndarray:
+        return circuit_features(aig, self.config.feature_config)
+
+    def _init_params(self, input_dim: int) -> None:
+        rng = self._rng
+        hidden = self.config.hidden_dim
+        self.input_dim = input_dim
+        self.w1 = rng.normal(0, np.sqrt(2.0 / input_dim), size=(input_dim, hidden))
+        self.b1 = np.zeros(hidden)
+        self.w2 = rng.normal(0, np.sqrt(2.0 / hidden), size=(hidden, 1))
+        self.b2 = np.zeros(1)
+        self.gate = np.ones(input_dim)
+
+    # -- forward / backward ------------------------------------------------------
+
+    def _forward(self, x: np.ndarray) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        gated = x * self.gate
+        z1 = gated @ self.w1 + self.b1
+        h1 = np.maximum(z1, 0.0)
+        out = h1 @ self.w2 + self.b2
+        cache = {"x": x, "gated": gated, "z1": z1, "h1": h1}
+        return out[:, 0], cache
+
+    def fit(self, features: np.ndarray, delays: np.ndarray, verbose: bool = False) -> List[float]:
+        """Train on (features, mapped delays); returns the loss trace."""
+        cfg = self.config
+        x = np.asarray(features, dtype=np.float64)
+        y = np.log1p(np.asarray(delays, dtype=np.float64))
+        self.x_mean = x.mean(axis=0)
+        self.x_std = x.std(axis=0) + 1e-9
+        x = (x - self.x_mean) / self.x_std
+        if self.w1 is None:
+            self._init_params(x.shape[1])
+
+        params = ["w1", "b1", "w2", "b2", "gate"]
+        moments = {p: (np.zeros_like(getattr(self, p)), np.zeros_like(getattr(self, p))) for p in params}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        losses: List[float] = []
+        n = x.shape[0]
+        rng = np.random.default_rng(cfg.seed + 1)
+
+        for epoch in range(cfg.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                xb, yb = x[idx], y[idx]
+                pred, cache = self._forward(xb)
+                err = pred - yb
+                loss = float(np.mean(err**2))
+                epoch_loss += loss * len(idx)
+                grads = self._backward(err, cache)
+                step += 1
+                for p in params:
+                    g = grads[p] + cfg.l2 * getattr(self, p)
+                    m, v = moments[p]
+                    m = beta1 * m + (1 - beta1) * g
+                    v = beta2 * v + (1 - beta2) * g**2
+                    moments[p] = (m, v)
+                    m_hat = m / (1 - beta1**step)
+                    v_hat = v / (1 - beta2**step)
+                    setattr(self, p, getattr(self, p) - cfg.learning_rate * m_hat / (np.sqrt(v_hat) + eps))
+            losses.append(epoch_loss / n)
+            if verbose and epoch % 50 == 0:
+                print(f"epoch {epoch}: loss {losses[-1]:.4f}")
+        return losses
+
+    def _backward(self, err: np.ndarray, cache: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        batch = err.shape[0]
+        d_out = (2.0 / batch) * err[:, None]
+        grads: Dict[str, np.ndarray] = {}
+        grads["w2"] = cache["h1"].T @ d_out
+        grads["b2"] = d_out.sum(axis=0)
+        d_h1 = d_out @ self.w2.T
+        d_z1 = d_h1 * (cache["z1"] > 0)
+        grads["w1"] = cache["gated"].T @ d_z1
+        grads["b1"] = d_z1.sum(axis=0)
+        d_gated = d_z1 @ self.w1.T
+        grads["gate"] = (d_gated * cache["x"]).sum(axis=0)
+        return grads
+
+    # -- inference ---------------------------------------------------------------
+
+    def predict_features(self, features: np.ndarray) -> np.ndarray:
+        if self.w1 is None:
+            raise RuntimeError("model is not trained")
+        x = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        x = (x - self.x_mean) / self.x_std
+        pred, _ = self._forward(x)
+        return np.expm1(pred)
+
+    def predict_aig(self, aig: Aig) -> float:
+        """Predicted mapped delay (ps) of a circuit."""
+        return float(self.predict_features(self.featurize(aig))[0])
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        data = {
+            "config": {
+                "hidden_dim": self.config.hidden_dim,
+                "num_hops": self.config.feature_config.num_hops,
+            },
+            "params": {
+                name: getattr(self, name).tolist()
+                for name in ("w1", "b1", "w2", "b2", "gate", "x_mean", "x_std")
+            },
+        }
+        Path(path).write_text(json.dumps(data))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "HogaModel":
+        data = json.loads(Path(path).read_text())
+        config = HogaConfig(hidden_dim=data["config"]["hidden_dim"])
+        config.feature_config.num_hops = data["config"]["num_hops"]
+        model = cls(config)
+        for name, value in data["params"].items():
+            setattr(model, name, np.asarray(value, dtype=np.float64))
+        model.input_dim = model.w1.shape[0]
+        return model

@@ -1,0 +1,41 @@
+"""An egg-style e-graph engine for Boolean terms.
+
+Provides hashconsed e-nodes, union-find over e-classes, congruence-closure
+rebuilding, pattern-based e-matching, a rewriting runner with resource
+limits, the Boolean rule set of the paper (Table I), and the intermediate
+serialization format used for direct DAG-to-DAG conversion (Fig. 7).
+"""
+
+from repro.egraph.egraph import EClass, EGraph, ENode
+from repro.egraph.language import AND, CONST0, CONST1, NOT, OR, VAR, OpSpec
+from repro.egraph.pattern import Pattern, PatternNode, parse_pattern
+from repro.egraph.rewrite import Rewrite
+from repro.egraph.rules import boolean_rules, rule_names
+from repro.egraph.runner import Runner, RunnerLimits, RunnerReport
+from repro.egraph.serialize import egraph_from_dsl, egraph_to_dsl
+from repro.egraph.unionfind import UnionFind
+
+__all__ = [
+    "EGraph",
+    "EClass",
+    "ENode",
+    "AND",
+    "OR",
+    "NOT",
+    "VAR",
+    "CONST0",
+    "CONST1",
+    "OpSpec",
+    "Pattern",
+    "PatternNode",
+    "parse_pattern",
+    "Rewrite",
+    "boolean_rules",
+    "rule_names",
+    "Runner",
+    "RunnerLimits",
+    "RunnerReport",
+    "egraph_from_dsl",
+    "egraph_to_dsl",
+    "UnionFind",
+]

@@ -1,0 +1,93 @@
+"""The Boolean rewrite rule set used by E-morphic (Table I of the paper).
+
+The set contains commutativity, associativity, distributivity, consensus,
+De Morgan, absorption (used in Fig. 5), idempotence and constant rules.
+Rules that grow the graph quickly (distributivity, De Morgan expansion) are
+kept directed the same way the paper's artifact does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.egraph.rewrite import Rewrite
+
+
+def boolean_rules(include_expansion: bool = True) -> List[Rewrite]:
+    """Build the rule set.
+
+    ``include_expansion`` controls the size-increasing rules (distributivity
+    expansion and De Morgan push); turning them off gives a purely
+    simplifying rule set useful for quick tests.
+    """
+    rules: List[Rewrite] = []
+
+    def add(name: str, lhs: str, rhs: str) -> None:
+        rules.append(Rewrite.from_strings(name, lhs, rhs))
+
+    # Commutativity.
+    add("and-comm", "(AND ?a ?b)", "(AND ?b ?a)")
+    add("or-comm", "(OR ?a ?b)", "(OR ?b ?a)")
+    # Associativity (both directions keep the space symmetric).
+    add("and-assoc", "(AND (AND ?a ?b) ?c)", "(AND ?a (AND ?b ?c))")
+    add("and-assoc-rev", "(AND ?a (AND ?b ?c))", "(AND (AND ?a ?b) ?c)")
+    add("or-assoc", "(OR (OR ?a ?b) ?c)", "(OR ?a (OR ?b ?c))")
+    add("or-assoc-rev", "(OR ?a (OR ?b ?c))", "(OR (OR ?a ?b) ?c)")
+    # Distributivity (Table I).
+    if include_expansion:
+        add("distrib-and-over-or", "(AND ?a (OR ?b ?c))", "(OR (AND ?a ?b) (AND ?a ?c))")
+        add("distrib-or-over-and", "(OR (AND ?a ?b) (AND ?a ?c))", "(AND ?a (OR ?b ?c))")
+        add("distrib-or-factor", "(OR ?a (AND ?b ?c))", "(AND (OR ?a ?b) (OR ?a ?c))")
+        add("distrib-and-factor", "(AND (OR ?a ?b) (OR ?a ?c))", "(OR ?a (AND ?b ?c))")
+    else:
+        add("distrib-or-over-and", "(OR (AND ?a ?b) (AND ?a ?c))", "(AND ?a (OR ?b ?c))")
+        add("distrib-and-factor", "(AND (OR ?a ?b) (OR ?a ?c))", "(OR ?a (AND ?b ?c))")
+    # Consensus (Table I).
+    add(
+        "consensus-or",
+        "(OR (OR (AND ?a ?b) (AND (NOT ?a) ?c)) (AND ?b ?c))",
+        "(OR (AND ?a ?b) (AND (NOT ?a) ?c))",
+    )
+    add(
+        "consensus-and",
+        "(AND (AND (OR ?a ?b) (OR (NOT ?a) ?c)) (OR ?b ?c))",
+        "(AND (OR ?a ?b) (OR (NOT ?a) ?c))",
+    )
+    # De Morgan (Table I).
+    add("demorgan-and", "(NOT (AND ?a ?b))", "(OR (NOT ?a) (NOT ?b))")
+    add("demorgan-or", "(NOT (OR ?a ?b))", "(AND (NOT ?a) (NOT ?b))")
+    if include_expansion:
+        add("demorgan-and-rev", "(OR (NOT ?a) (NOT ?b))", "(NOT (AND ?a ?b))")
+        add("demorgan-or-rev", "(AND (NOT ?a) (NOT ?b))", "(NOT (OR ?a ?b))")
+    # Absorption (covering rules in Fig. 5).
+    add("absorb-and", "(AND ?a (OR ?a ?b))", "?a")
+    add("absorb-or", "(OR ?a (AND ?a ?b))", "?a")
+    # Idempotence, involution, complementation, constants.
+    add("and-idem", "(AND ?a ?a)", "?a")
+    add("or-idem", "(OR ?a ?a)", "?a")
+    add("not-not", "(NOT (NOT ?a))", "?a")
+    add("and-compl", "(AND ?a (NOT ?a))", "CONST0")
+    add("or-compl", "(OR ?a (NOT ?a))", "CONST1")
+    add("and-true", "(AND ?a CONST1)", "?a")
+    add("and-false", "(AND ?a CONST0)", "CONST0")
+    add("or-false", "(OR ?a CONST0)", "?a")
+    add("or-true", "(OR ?a CONST1)", "CONST1")
+    add("not-const0", "(NOT CONST0)", "CONST1")
+    add("not-const1", "(NOT CONST1)", "CONST0")
+    return rules
+
+
+def rule_names(rules: Optional[Sequence[Rewrite]] = None) -> List[str]:
+    """Names of the default (or given) rule set."""
+    if rules is None:
+        rules = boolean_rules()
+    return [rule.name for rule in rules]
+
+
+def rules_by_name(names: Sequence[str]) -> List[Rewrite]:
+    """Select a subset of the default rules by name."""
+    table: Dict[str, Rewrite] = {r.name: r for r in boolean_rules()}
+    missing = [n for n in names if n not in table]
+    if missing:
+        raise KeyError(f"unknown rule names: {missing}")
+    return [table[n] for n in names]

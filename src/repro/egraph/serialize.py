@@ -1,0 +1,106 @@
+"""The intermediate DSL for direct e-graph <-> circuit conversion (Fig. 7).
+
+The format is a JSON document of the shape::
+
+    {"egraph": {"3": {"id": 3, "nodes": [{"Symbol": "a"}], "parents": [7, 8]},
+                "7": {"id": 7, "nodes": [{"AND": [3, 4]}], "parents": [6, 9]},
+                ...}}
+
+Each entry is one e-class, identified by a numeric id; ``nodes`` lists its
+e-nodes with child class ids; ``parents`` lists the classes that reference
+it.  Because sharing is expressed through ids, the representation grows
+linearly with the circuit, unlike the S-expression path of E-Syn.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple, Union
+
+from repro.egraph.egraph import EGraph, ENode
+from repro.egraph.language import AND, CONST0, CONST1, NOT, OR, VAR
+
+_OP_TO_DSL = {AND: "AND", OR: "OR", NOT: "NOT"}
+_DSL_TO_OP = {v: k for k, v in _OP_TO_DSL.items()}
+
+
+def _enode_to_dsl(enode: ENode) -> Dict[str, Union[str, List[int]]]:
+    if enode.op == VAR:
+        return {"Symbol": enode.payload or ""}
+    if enode.op == CONST0:
+        return {"Const": "0"}
+    if enode.op == CONST1:
+        return {"Const": "1"}
+    return {_OP_TO_DSL[enode.op]: list(enode.children)}
+
+
+def _enode_from_dsl(entry: Dict[str, Union[str, List[int]]]) -> ENode:
+    if len(entry) != 1:
+        raise ValueError(f"malformed e-node entry: {entry!r}")
+    key, value = next(iter(entry.items()))
+    if key == "Symbol":
+        return ENode(op=VAR, payload=str(value))
+    if key == "Const":
+        return ENode(op=CONST1 if str(value) == "1" else CONST0)
+    if key not in _DSL_TO_OP:
+        raise ValueError(f"unknown operator {key!r} in DSL")
+    children = tuple(int(c) for c in value)  # type: ignore[union-attr]
+    return ENode(op=_DSL_TO_OP[key], children=children)
+
+
+def egraph_to_dsl(egraph: EGraph, indent: int | None = None) -> str:
+    """Serialize the e-graph into the intermediate DSL (JSON text)."""
+    doc: Dict[str, Dict[str, object]] = {}
+    parents: Dict[int, List[int]] = {}
+    for cid, enode in egraph.enodes():
+        for child in enode.children:
+            parents.setdefault(egraph.find(child), []).append(cid)
+    for cid, eclass in egraph.canonical_classes().items():
+        doc[str(cid)] = {
+            "id": cid,
+            "nodes": [_enode_to_dsl(n.canonicalize(egraph.union_find)) for n in eclass.nodes],
+            "parents": sorted(set(parents.get(cid, []))),
+        }
+    return json.dumps({"egraph": doc}, indent=indent)
+
+
+def egraph_from_dsl(text: str) -> Tuple[EGraph, Dict[int, int]]:
+    """Parse the intermediate DSL back into an e-graph.
+
+    Returns (egraph, id_map) where ``id_map`` maps DSL class ids to e-class
+    ids in the reconstructed graph.
+    """
+    doc = json.loads(text)
+    if "egraph" not in doc:
+        raise ValueError("missing top-level 'egraph' key")
+    entries = {int(key): value for key, value in doc["egraph"].items()}
+    egraph = EGraph()
+    id_map: Dict[int, int] = {}
+
+    def build(dsl_id: int, visiting: frozenset) -> int:
+        if dsl_id in id_map:
+            return id_map[dsl_id]
+        if dsl_id in visiting:
+            raise ValueError(f"cycle detected at DSL class {dsl_id}")
+        entry = entries[dsl_id]
+        class_id = None
+        for node_entry in entry["nodes"]:
+            enode = _enode_from_dsl(node_entry)
+            children = tuple(build(child, visiting | {dsl_id}) for child in enode.children)
+            new_id = egraph.add(ENode(op=enode.op, children=children, payload=enode.payload))
+            if class_id is None:
+                class_id = new_id
+            elif egraph.find(class_id) != egraph.find(new_id):
+                egraph.union(class_id, new_id)
+                class_id = egraph.find(class_id)
+        if class_id is None:
+            raise ValueError(f"DSL class {dsl_id} has no nodes")
+        id_map[dsl_id] = egraph.find(class_id)
+        return id_map[dsl_id]
+
+    for dsl_id in entries:
+        build(dsl_id, frozenset())
+    egraph.rebuild()
+    # Re-canonicalise the map after rebuilding.
+    id_map = {k: egraph.find(v) for k, v in id_map.items()}
+    return egraph, id_map

@@ -1,0 +1,23 @@
+"""E-graph extraction: greedy, random, and simulated-annealing extractors."""
+
+from repro.extraction.cost import CostFunction, DepthCost, NodeCountCost, OperatorCost
+from repro.extraction.greedy import extraction_size, greedy_extract
+from repro.extraction.parallel import ParallelSAConfig, parallel_sa_extract
+from repro.extraction.random_extract import random_extract
+from repro.extraction.sa import AnnealingSchedule, SAExtractor, SAResult, generate_neighbor
+
+__all__ = [
+    "CostFunction",
+    "NodeCountCost",
+    "DepthCost",
+    "OperatorCost",
+    "greedy_extract",
+    "extraction_size",
+    "random_extract",
+    "SAExtractor",
+    "SAResult",
+    "AnnealingSchedule",
+    "generate_neighbor",
+    "ParallelSAConfig",
+    "parallel_sa_extract",
+]

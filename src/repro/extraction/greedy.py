@@ -1,0 +1,70 @@
+"""Bottom-up greedy extraction.
+
+The classic egg extractor: iterate to a fixpoint where every e-class knows
+the cheapest e-node (given the current best costs of its children), then read
+off the choices.  This provides the initial solutions for the simulated
+annealing extractor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.egraph.egraph import EGraph, ENode
+from repro.extraction.cost import CostFunction, NodeCountCost
+
+
+def greedy_extract(
+    egraph: EGraph,
+    cost: Optional[CostFunction] = None,
+    max_rounds: Optional[int] = None,
+) -> Dict[int, ENode]:
+    """Select the locally cheapest e-node for every e-class.
+
+    Returns a map canonical-class-id -> chosen e-node covering every class
+    whose cost converged (unreachable or cyclic-only classes are omitted).
+    """
+    if cost is None:
+        cost = NodeCountCost()
+    classes = egraph.canonical_classes()
+    best_cost: Dict[int, float] = {}
+    best_node: Dict[int, ENode] = {}
+    if max_rounds is None:
+        max_rounds = len(classes) + 1
+
+    changed = True
+    rounds = 0
+    while changed and rounds < max_rounds:
+        changed = False
+        rounds += 1
+        for cid, eclass in classes.items():
+            for enode in eclass.nodes:
+                children = [egraph.find(c) for c in enode.children]
+                if any(c not in best_cost for c in children):
+                    continue
+                total = cost.aggregate(enode, (best_cost[c] for c in children))
+                if total < best_cost.get(cid, math.inf) - 1e-12:
+                    best_cost[cid] = total
+                    best_node[cid] = enode
+                    changed = True
+    return best_node
+
+
+def extraction_size(egraph: EGraph, extraction: Dict[int, ENode], roots) -> Tuple[int, int]:
+    """(number of extracted classes, number of AND/OR operators) reachable from roots."""
+    from repro.egraph.language import AND, OR
+
+    reachable = set()
+    stack = [egraph.find(r) for r in roots]
+    ops = 0
+    while stack:
+        cid = egraph.find(stack.pop())
+        if cid in reachable:
+            continue
+        reachable.add(cid)
+        enode = extraction[cid]
+        if enode.op in (AND, OR):
+            ops += 1
+        stack.extend(egraph.find(c) for c in enode.children)
+    return len(reachable), ops

@@ -1,0 +1,12 @@
+"""End-to-end synthesis flows: the delay-oriented baseline and E-morphic."""
+
+from repro.flows.baseline import BaselineResult, run_baseline_flow
+from repro.flows.emorphic import EmorphicConfig, EmorphicResult, run_emorphic_flow
+
+__all__ = [
+    "run_baseline_flow",
+    "BaselineResult",
+    "run_emorphic_flow",
+    "EmorphicConfig",
+    "EmorphicResult",
+]

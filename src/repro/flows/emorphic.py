@@ -1,0 +1,232 @@
+"""The E-morphic flow: baseline optimization + e-graph resynthesis before mapping.
+
+Pipeline (Fig. 5 of the paper):
+
+1. technology-independent optimization (the same SOP-balancing rounds as the
+   baseline, minus the final mapping round);
+2. direct DAG-to-DAG conversion of the optimized AIG into an e-graph;
+3. a small number of equality-saturation iterations to grow structural
+   choices;
+4. multi-threaded simulated-annealing extraction, with either the mapping
+   cost model (quality-prioritized) or the learned HOGA-like model
+   (runtime-prioritized) evaluating candidates;
+5. the best extracted structure goes through the final ``(st; dch; map)``
+   round; the result is equivalence-checked against the input.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.aig.graph import Aig
+from repro.aig.levels import logic_depth
+from repro.conversion.dag2eg import aig_to_egraph
+from repro.conversion.eg2dag import extraction_to_aig
+from repro.costmodel.abc_cost import MappingCostModel
+from repro.costmodel.hoga import HogaModel
+from repro.egraph.rules import boolean_rules
+from repro.egraph.runner import Runner, RunnerLimits, RunnerReport
+from repro.extraction.cost import DepthCost, NodeCountCost
+from repro.extraction.parallel import ParallelSAConfig, parallel_sa_extract
+from repro.extraction.sa import AnnealingSchedule
+from repro.flows.baseline import BaselineConfig, BaselineResult, run_baseline_flow
+from repro.mapping.cut_mapping import MappingResult, map_aig
+from repro.mapping.library import Library, asap7_like_library
+from repro.opt.balance import balance as balance_pass
+from repro.opt.dch import compute_choices
+from repro.opt.rewrite import rewrite as rewrite_pass
+from repro.opt.sop_balance import sop_balance
+from repro.verify.cec import CecResult, check_equivalence
+
+
+@dataclass
+class EmorphicConfig:
+    """Configuration of the E-morphic flow (paper defaults from Section IV-A)."""
+
+    # Technology-independent optimization (shared with the baseline).
+    baseline: BaselineConfig = field(default_factory=BaselineConfig)
+    # Equality saturation.
+    rewrite_iterations: int = 5
+    max_egraph_nodes: int = 40_000
+    rewrite_time_limit: float = 30.0
+    # Extraction.
+    num_threads: int = 4
+    sa_iterations: int = 4
+    initial_temperature: float = 2000.0
+    moves_per_iteration: int = 4
+    p_random: float = 0.1
+    pruned: bool = True
+    extraction_cost: str = "depth"  # guiding cost inside Algorithm 1
+    # Cost model.
+    use_ml_model: bool = False
+    ml_model: Optional[HogaModel] = None
+    # Verification.
+    verify: bool = True
+    verify_sim_words: int = 8
+    verify_conflict_budget: Optional[int] = 20_000
+
+
+@dataclass
+class EmorphicResult:
+    """QoR and runtime breakdown of the E-morphic flow."""
+
+    aig: Aig
+    mapping: MappingResult
+    area: float
+    delay: float
+    levels: int
+    runtime: float
+    phase_runtimes: Dict[str, float] = field(default_factory=dict)
+    rewrite_report: Optional[RunnerReport] = None
+    num_candidates: int = 0
+    baseline_delay_before_resynthesis: float = 0.0
+    equivalence: Optional[CecResult] = None
+
+    def runtime_breakdown(self) -> Dict[str, float]:
+        """The three components plotted in Fig. 9."""
+        abc_time = self.phase_runtimes.get("tech_independent", 0.0) + self.phase_runtimes.get("final_map", 0.0)
+        return {
+            "abc_flow": abc_time,
+            "egraph_conversion": self.phase_runtimes.get("conversion", 0.0),
+            "sa_extraction": self.phase_runtimes.get("extraction", 0.0),
+        }
+
+
+def run_emorphic_flow(
+    aig: Aig,
+    config: Optional[EmorphicConfig] = None,
+    library: Optional[Library] = None,
+) -> EmorphicResult:
+    """Run the full E-morphic flow on ``aig``."""
+    config = config or EmorphicConfig()
+    library = library or asap7_like_library()
+    original = aig.strash()
+    start = time.perf_counter()
+    phases: Dict[str, float] = {}
+
+    # Phase 1: technology-independent optimization (SOP balancing rounds and
+    # all but the last dch/map round of the baseline flow).
+    t0 = time.perf_counter()
+    work = original
+    for _ in range(config.baseline.sop_rounds):
+        work = work.strash()
+        work = sop_balance(work, k=config.baseline.k, cut_limit=config.baseline.cut_limit)
+    work = work.strash()
+    pre_mapping = map_aig(work, library)
+    phases["tech_independent"] = time.perf_counter() - t0
+
+    # Phase 2: direct DAG-to-DAG conversion.
+    t0 = time.perf_counter()
+    circuit = aig_to_egraph(work)
+    phases["conversion"] = time.perf_counter() - t0
+
+    # Phase 3: equality saturation with few iterations.
+    t0 = time.perf_counter()
+    runner = Runner(
+        circuit.egraph,
+        boolean_rules(),
+        RunnerLimits(
+            max_iterations=config.rewrite_iterations,
+            max_nodes=config.max_egraph_nodes,
+            time_limit=config.rewrite_time_limit,
+        ),
+    )
+    rewrite_report = runner.run()
+    phases["rewriting"] = time.perf_counter() - t0
+
+    # Phase 4: parallel SA extraction with the selected cost model.
+    t0 = time.perf_counter()
+    guiding_cost = DepthCost() if config.extraction_cost == "depth" else NodeCountCost()
+    qor_model = MappingCostModel(library=library)
+
+    if config.use_ml_model and config.ml_model is not None:
+        model = config.ml_model
+
+        def qor_evaluator(extraction):
+            candidate = extraction_to_aig(circuit, extraction, name="candidate")
+            return model.predict_aig(candidate)
+
+    else:
+
+        def qor_evaluator(extraction):
+            candidate = extraction_to_aig(circuit, extraction, name="candidate")
+            return qor_model.cost_of_aig(candidate)
+
+    sa_config = ParallelSAConfig(
+        num_threads=config.num_threads if not config.use_ml_model else config.num_threads + 2,
+        moves_per_iteration=config.moves_per_iteration,
+        p_random=config.p_random,
+        schedule=AnnealingSchedule(
+            initial_temperature=config.initial_temperature, num_iterations=config.sa_iterations
+        ),
+        pruned=config.pruned,
+    )
+    roots = list(circuit.output_classes)
+    results = parallel_sa_extract(
+        circuit.egraph,
+        roots,
+        cost=guiding_cost,
+        qor_evaluator=qor_evaluator,
+        config=sa_config,
+        seed_solution=circuit.original_extraction(),
+    )
+    phases["extraction"] = time.perf_counter() - t0
+
+    # Map every candidate with the accurate model and keep the best (the
+    # paper maps all parallel-generated solutions and picks the best QoR).
+    t0 = time.perf_counter()
+    best_mapping: Optional[MappingResult] = None
+    best_aig: Optional[Aig] = None
+    for result in results:
+        candidate = extraction_to_aig(circuit, result.extraction, name=aig.name)
+        candidate = candidate.strash()
+        # Light technology-independent cleanup: extraction from a saturated
+        # e-graph can leave duplicated structure behind; balancing plus one
+        # rewriting pass recovers it without disturbing the depth profile.
+        candidate = rewrite_pass(balance_pass(candidate))
+        if config.baseline.use_choices:
+            choice = compute_choices(
+                candidate,
+                max_pairs=config.baseline.choice_max_pairs,
+                conflict_budget=config.baseline.choice_sat_budget,
+            )
+            mapping = map_aig(choice.aig, library, choices=choice.classes)
+        else:
+            mapping = map_aig(candidate, library)
+        if best_mapping is None or (mapping.delay, mapping.area) < (best_mapping.delay, best_mapping.area):
+            best_mapping = mapping
+            best_aig = candidate
+    # Keep the pre-resynthesis mapping if it happens to still be the best.
+    if best_mapping is None or (pre_mapping.delay, pre_mapping.area) < (best_mapping.delay, best_mapping.area):
+        best_mapping = pre_mapping
+        best_aig = work
+    phases["final_map"] = time.perf_counter() - t0
+
+    # Phase 5: equivalence checking (ABC `cec`).
+    equivalence: Optional[CecResult] = None
+    if config.verify:
+        t0 = time.perf_counter()
+        equivalence = check_equivalence(
+            original,
+            best_aig,
+            sim_words=config.verify_sim_words,
+            conflict_budget=config.verify_conflict_budget,
+        )
+        phases["verification"] = time.perf_counter() - t0
+
+    runtime = time.perf_counter() - start
+    return EmorphicResult(
+        aig=best_aig,
+        mapping=best_mapping,
+        area=best_mapping.area,
+        delay=best_mapping.delay,
+        levels=logic_depth(best_aig),
+        runtime=runtime,
+        phase_runtimes=phases,
+        rewrite_report=rewrite_report,
+        num_candidates=len(results),
+        baseline_delay_before_resynthesis=pre_mapping.delay,
+        equivalence=equivalence,
+    )

@@ -1,0 +1,15 @@
+"""Technology mapping: standard-cell library and cut-based covering."""
+
+from repro.mapping.cut_mapping import MappingResult, map_aig
+from repro.mapping.library import Gate, Library, asap7_like_library
+from repro.mapping.netlist import Netlist, NetlistGate
+
+__all__ = [
+    "Gate",
+    "Library",
+    "asap7_like_library",
+    "MappingResult",
+    "map_aig",
+    "Netlist",
+    "NetlistGate",
+]

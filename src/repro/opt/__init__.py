@@ -1,0 +1,27 @@
+"""Technology-independent logic optimization (an ABC-like substrate).
+
+Provides the passes used by the delay-oriented baseline flow of the paper:
+structural hashing (on :class:`repro.aig.Aig`), balancing, DAG-aware
+rewriting, refactoring, SOP balancing (``if -g``) and a simplified choice
+computation (``dch``).
+"""
+
+from repro.opt.balance import balance
+from repro.opt.cuts import Cut, enumerate_cuts
+from repro.opt.dch import compute_choices
+from repro.opt.refactor import refactor
+from repro.opt.rewrite import rewrite
+from repro.opt.scripts import delay_opt_script, resyn2_script
+from repro.opt.sop_balance import sop_balance
+
+__all__ = [
+    "balance",
+    "Cut",
+    "enumerate_cuts",
+    "compute_choices",
+    "refactor",
+    "rewrite",
+    "sop_balance",
+    "delay_opt_script",
+    "resyn2_script",
+]

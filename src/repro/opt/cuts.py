@@ -1,0 +1,176 @@
+"""K-feasible cut enumeration with truth-table computation.
+
+Cuts are the workhorse of both DAG-aware rewriting and cut-based technology
+mapping.  The enumeration follows the standard bottom-up merge procedure with
+per-node priority-cut filtering (keep only the ``cut_limit`` best cuts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aig.graph import Aig, lit_is_compl, lit_var
+
+
+@dataclass(frozen=True)
+class Cut:
+    """A cut: a set of leaf variables and the truth table of the root over them.
+
+    The truth table is an integer with ``2 ** len(leaves)`` valid bits, where
+    leaf *i* corresponds to input variable *i* of the function (ordered as in
+    ``leaves``).
+    """
+
+    leaves: Tuple[int, ...]
+    truth: int
+
+    @property
+    def size(self) -> int:
+        return len(self.leaves)
+
+    def dominates(self, other: "Cut") -> bool:
+        """True if this cut's leaves are a subset of the other's."""
+        return set(self.leaves) <= set(other.leaves)
+
+
+def _leaf_truth(index: int, num_leaves: int) -> int:
+    """Truth table of input variable ``index`` over ``num_leaves`` variables."""
+    width = 1 << num_leaves
+    word = 0
+    for minterm in range(width):
+        if (minterm >> index) & 1:
+            word |= 1 << minterm
+    return word
+
+
+def _expand_truth(truth: int, old_leaves: Sequence[int], new_leaves: Sequence[int]) -> int:
+    """Re-express ``truth`` (over ``old_leaves``) over the superset ``new_leaves``."""
+    pos = {leaf: i for i, leaf in enumerate(new_leaves)}
+    n_new = len(new_leaves)
+    width = 1 << n_new
+    out = 0
+    for minterm in range(width):
+        old_minterm = 0
+        for i, leaf in enumerate(old_leaves):
+            if (minterm >> pos[leaf]) & 1:
+                old_minterm |= 1 << i
+        if (truth >> old_minterm) & 1:
+            out |= 1 << minterm
+    return out
+
+
+def merge_cuts(cut0: Cut, cut1: Cut, compl0: bool, compl1: bool, k: int) -> Optional[Cut]:
+    """Merge two fanin cuts into a cut of the AND node, or None if > k leaves."""
+    leaves = tuple(sorted(set(cut0.leaves) | set(cut1.leaves)))
+    if len(leaves) > k:
+        return None
+    width = 1 << len(leaves)
+    mask = (1 << width) - 1
+    t0 = _expand_truth(cut0.truth, cut0.leaves, leaves)
+    t1 = _expand_truth(cut1.truth, cut1.leaves, leaves)
+    if compl0:
+        t0 ^= mask
+    if compl1:
+        t1 ^= mask
+    return Cut(leaves=leaves, truth=t0 & t1)
+
+
+@dataclass
+class CutSet:
+    """Cuts of a single node, including the trivial cut."""
+
+    var: int
+    cuts: List[Cut] = field(default_factory=list)
+
+
+def enumerate_cuts(
+    aig: Aig,
+    k: int = 4,
+    cut_limit: int = 8,
+    include_trivial: bool = True,
+) -> Dict[int, List[Cut]]:
+    """Enumerate up to ``cut_limit`` k-feasible cuts per variable.
+
+    Returns a map from variable to its cut list.  PIs and the constant get only
+    their trivial cut.  Cuts are kept sorted by (size, leaves) as a simple
+    priority function; callers that need delay-aware priority re-sort.
+    """
+    if k > 8:
+        raise ValueError("cut size larger than 8 is not supported (truth tables grow too large)")
+    cuts: Dict[int, List[Cut]] = {}
+    cuts[0] = [Cut(leaves=(), truth=0)]
+    for var in aig.pis:
+        cuts[var] = [Cut(leaves=(var,), truth=_leaf_truth(0, 1))]
+    for node in aig.and_nodes():
+        v0, v1 = lit_var(node.fanin0), lit_var(node.fanin1)
+        c0, c1 = lit_is_compl(node.fanin0), lit_is_compl(node.fanin1)
+        merged: List[Cut] = []
+        seen = set()
+        for cut0 in cuts[v0]:
+            for cut1 in cuts[v1]:
+                cut = merge_cuts(cut0, cut1, c0, c1, k)
+                if cut is None or cut.leaves in seen:
+                    continue
+                seen.add(cut.leaves)
+                merged.append(cut)
+        # Remove dominated cuts (a cut whose leaves are a superset of another's).
+        filtered: List[Cut] = []
+        for cut in sorted(merged, key=lambda c: (c.size, c.leaves)):
+            if any(other.dominates(cut) and other.leaves != cut.leaves for other in filtered):
+                continue
+            filtered.append(cut)
+        filtered = filtered[:cut_limit]
+        if include_trivial:
+            filtered.append(Cut(leaves=(node.var,), truth=_leaf_truth(0, 1)))
+        cuts[node.var] = filtered
+    return cuts
+
+
+def cut_truth_table(aig: Aig, root: int, leaves: Sequence[int]) -> int:
+    """Truth table of ``root`` (a variable) as a function of ``leaves``.
+
+    Computed by local simulation of the cone between the leaves and the root.
+    """
+    n = len(leaves)
+    width = 1 << n
+    values: Dict[int, int] = {0: 0}
+    for i, leaf in enumerate(leaves):
+        values[leaf] = _leaf_truth(i, n)
+    mask = (1 << width) - 1
+
+    def eval_var(var: int) -> int:
+        if var in values:
+            return values[var]
+        node = aig.node(var)
+        if not node.is_and:
+            raise ValueError(f"variable {var} is not inside the cut cone")
+        v0 = eval_var(lit_var(node.fanin0))
+        if lit_is_compl(node.fanin0):
+            v0 ^= mask
+        v1 = eval_var(lit_var(node.fanin1))
+        if lit_is_compl(node.fanin1):
+            v1 ^= mask
+        values[var] = v0 & v1
+        return values[var]
+
+    return eval_var(root)
+
+
+def cut_cone_volume(aig: Aig, root: int, leaves: Sequence[int]) -> int:
+    """Number of AND nodes strictly inside the cut cone (root included)."""
+    leaf_set = set(leaves)
+    seen = set()
+    stack = [root]
+    count = 0
+    while stack:
+        var = stack.pop()
+        if var in seen or var in leaf_set:
+            continue
+        seen.add(var)
+        node = aig.node(var)
+        if node.is_and:
+            count += 1
+            stack.append(lit_var(node.fanin0))
+            stack.append(lit_var(node.fanin1))
+    return count

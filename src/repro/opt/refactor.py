@@ -1,0 +1,54 @@
+"""Refactoring: collapse larger cones and re-synthesise them by factoring.
+
+This is the coarser-grained sibling of :mod:`repro.opt.rewrite`: cuts of up
+to 8 inputs are collapsed into a single SOP, factored, and rebuilt when the
+result is smaller.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.aig.graph import Aig, lit_var
+from repro.opt.cuts import enumerate_cuts
+from repro.opt.synth import build_truth_factored
+
+
+def refactor(aig: Aig, k: int = 6, cut_limit: int = 4, zero_gain: bool = False) -> Aig:
+    """Refactor the AIG using up to ``k``-input cuts."""
+    cuts = enumerate_cuts(aig, k=k, cut_limit=cut_limit)
+    fanouts = aig.fanout_counts()
+    new = Aig(name=aig.name)
+    old2new: Dict[int, int] = {0: 0}
+    for var in aig.pis:
+        old2new[var] = new.add_pi(aig.node(var).name)
+
+    def map_lit(lit: int) -> int:
+        return old2new[lit_var(lit)] ^ (lit & 1)
+
+    po_drivers = {lit_var(lit) for lit, _ in aig.pos}
+
+    for node in aig.and_nodes():
+        direct_before = new.num_nodes
+        direct_lit = new.add_and(map_lit(node.fanin0), map_lit(node.fanin1))
+        direct_added = new.num_nodes - direct_before
+
+        best_lit, best_added = direct_lit, direct_added
+        # Only refactor multi-fanout nodes and PO drivers: their cones are the
+        # natural boundaries of shared logic.
+        if fanouts[node.var] > 1 or node.var in po_drivers:
+            candidates = [c for c in cuts[node.var] if 3 <= c.size <= k]
+            if candidates:
+                cut = max(candidates, key=lambda c: c.size)
+                if all(leaf in old2new for leaf in cut.leaves):
+                    leaf_lits = [old2new[leaf] for leaf in cut.leaves]
+                    cand_before = new.num_nodes
+                    cand_lit = build_truth_factored(new, cut.truth, leaf_lits)
+                    cand_added = new.num_nodes - cand_before
+                    if cand_added < best_added or (zero_gain and cand_added == best_added):
+                        best_lit, best_added = cand_lit, cand_added
+        old2new[node.var] = best_lit
+
+    for lit, name in aig.pos:
+        new.add_po(map_lit(lit), name)
+    return new.cleanup()

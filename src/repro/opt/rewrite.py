@@ -1,0 +1,65 @@
+"""DAG-aware cut rewriting (ABC's ``rewrite``, simplified).
+
+Each AND node is reconsidered against its best 4-input cut: the cut function
+is re-synthesised through ISOP + algebraic factoring, and the realisation that
+adds the fewest new nodes to the output AIG (thanks to structural hashing,
+shared logic is free) is kept.  Garbage produced by rejected candidates is
+swept by the final cleanup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.aig.graph import Aig, lit_var
+from repro.opt.cuts import Cut, enumerate_cuts
+from repro.opt.sop import factored_literal_count
+from repro.opt.synth import build_truth_factored
+
+
+def _select_cut(cuts: List[Cut], var: int) -> Optional[Cut]:
+    """Pick the most promising non-trivial cut: largest, then cheapest function."""
+    candidates = [c for c in cuts if c.leaves != (var,) and c.size >= 2]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda c: (factored_literal_count(c.truth, c.size), -c.size))
+
+
+def rewrite(aig: Aig, k: int = 4, cut_limit: int = 8, zero_gain: bool = False) -> Aig:
+    """Rewrite the AIG node by node, keeping the smaller realisation.
+
+    ``zero_gain`` accepts rewrites that do not change the local node count;
+    this is useful for perturbing the structure before another pass.
+    """
+    cuts = enumerate_cuts(aig, k=k, cut_limit=cut_limit)
+    new = Aig(name=aig.name)
+    old2new: Dict[int, int] = {0: 0}
+    for var in aig.pis:
+        old2new[var] = new.add_pi(aig.node(var).name)
+
+    def map_lit(lit: int) -> int:
+        return old2new[lit_var(lit)] ^ (lit & 1)
+
+    for node in aig.and_nodes():
+        direct_before = new.num_nodes
+        direct_lit = new.add_and(map_lit(node.fanin0), map_lit(node.fanin1))
+        direct_added = new.num_nodes - direct_before
+
+        best_lit = direct_lit
+        best_added = direct_added
+
+        cut = _select_cut(cuts[node.var], node.var)
+        if cut is not None and all(leaf in old2new for leaf in cut.leaves):
+            leaf_lits = [old2new[leaf] for leaf in cut.leaves]
+            cand_before = new.num_nodes
+            cand_lit = build_truth_factored(new, cut.truth, leaf_lits)
+            cand_added = new.num_nodes - cand_before
+            better = cand_added < best_added or (zero_gain and cand_added == best_added)
+            if better:
+                best_lit = cand_lit
+                best_added = cand_added
+        old2new[node.var] = best_lit
+
+    for lit, name in aig.pos:
+        new.add_po(map_lit(lit), name)
+    return new.cleanup()

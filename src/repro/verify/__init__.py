@@ -1,0 +1,15 @@
+"""Equivalence checking: CNF encoding, a CDCL SAT solver, and CEC."""
+
+from repro.verify.cec import CecResult, check_equivalence, miter
+from repro.verify.cnf import Cnf, tseitin_encode
+from repro.verify.sat import SatResult, SatSolver
+
+__all__ = [
+    "Cnf",
+    "tseitin_encode",
+    "SatSolver",
+    "SatResult",
+    "miter",
+    "check_equivalence",
+    "CecResult",
+]

@@ -1,0 +1,192 @@
+"""Tests of the AIG data structure (literals, structural hashing, cleanup)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.graph import (
+    CONST0,
+    CONST1,
+    Aig,
+    aig_from_functions,
+    lit_compl,
+    lit_is_compl,
+    lit_not,
+    lit_var,
+    var_lit,
+)
+from repro.aig.simulate import exhaustive_truth_tables
+
+
+class TestLiterals:
+    def test_var_lit_roundtrip(self):
+        for var in range(10):
+            for compl in (False, True):
+                lit = var_lit(var, compl)
+                assert lit_var(lit) == var
+                assert lit_is_compl(lit) == compl
+
+    def test_lit_not_involution(self):
+        assert lit_not(lit_not(6)) == 6
+        assert lit_not(6) == 7
+
+    def test_lit_compl_conditional(self):
+        assert lit_compl(4, True) == 5
+        assert lit_compl(4, False) == 4
+
+    def test_constants(self):
+        assert CONST0 == 0
+        assert CONST1 == 1
+        assert lit_not(CONST0) == CONST1
+
+
+class TestConstruction:
+    def test_empty_aig_has_constant(self):
+        aig = Aig()
+        assert aig.num_nodes == 1
+        assert aig.node(0).is_const
+
+    def test_add_pi_returns_literal(self):
+        aig = Aig()
+        a = aig.add_pi("a")
+        assert not lit_is_compl(a)
+        assert aig.node(lit_var(a)).is_pi
+        assert aig.num_pis == 1
+
+    def test_add_and_creates_node(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        f = aig.add_and(a, b)
+        assert aig.num_ands == 1
+        assert aig.node(lit_var(f)).fanin_lits() == (min(a, b), max(a, b))
+
+    def test_structural_hashing_reuses_nodes(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        f1 = aig.add_and(a, b)
+        f2 = aig.add_and(b, a)  # commuted operands hash to the same node
+        assert f1 == f2
+        assert aig.num_ands == 1
+
+    def test_trivial_simplifications(self):
+        aig = Aig()
+        a = aig.add_pi()
+        assert aig.add_and(a, a) == a
+        assert aig.add_and(a, lit_not(a)) == CONST0
+        assert aig.add_and(a, CONST0) == CONST0
+        assert aig.add_and(a, CONST1) == a
+        assert aig.num_ands == 0
+
+    def test_add_po_and_counts(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.add_po(aig.add_and(a, b), "f")
+        assert aig.num_pos == 1
+        assert aig.pos[0][1] == "f"
+
+    def test_bad_literal_rejected(self):
+        aig = Aig()
+        with pytest.raises(ValueError):
+            aig.add_po(999)
+
+
+class TestDerivedGates:
+    def _truth_of(self, build, num_inputs):
+        aig = aig_from_functions(num_inputs, build)
+        return exhaustive_truth_tables(aig)[0]
+
+    def test_or(self):
+        truth = self._truth_of(lambda aig, pis: aig.add_or(pis[0], pis[1]), 2)
+        assert truth == 0b1110
+
+    def test_xor(self):
+        truth = self._truth_of(lambda aig, pis: aig.add_xor(pis[0], pis[1]), 2)
+        assert truth == 0b0110
+
+    def test_mux(self):
+        # sel=pis[0], true=pis[1], false=pis[2]
+        truth = self._truth_of(lambda aig, pis: aig.add_mux(pis[0], pis[1], pis[2]), 3)
+        expected = 0
+        for m in range(8):
+            sel, t, f = m & 1, (m >> 1) & 1, (m >> 2) & 1
+            if (t if sel else f):
+                expected |= 1 << m
+        assert truth == expected
+
+    def test_maj(self):
+        truth = self._truth_of(lambda aig, pis: aig.add_maj(*pis), 3)
+        expected = 0
+        for m in range(8):
+            if bin(m).count("1") >= 2:
+                expected |= 1 << m
+        assert truth == expected
+
+    def test_and_multi_empty_is_const1(self):
+        aig = Aig()
+        assert aig.add_and_multi([]) == CONST1
+
+    def test_or_multi_empty_is_const0(self):
+        aig = Aig()
+        assert aig.add_or_multi([]) == CONST0
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_and_multi_matches_python_and(self, n, seed):
+        aig = aig_from_functions(n, lambda a, pis: a.add_and_multi(pis))
+        truth = exhaustive_truth_tables(aig)[0]
+        expected = 0
+        for m in range(1 << n):
+            if all((m >> i) & 1 for i in range(n)):
+                expected |= 1 << m
+        assert truth == expected
+
+
+class TestCleanup:
+    def test_cleanup_removes_dangling_nodes(self):
+        aig = Aig()
+        a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        used = aig.add_and(a, b)
+        aig.add_and(a, c)  # dangling
+        aig.add_po(used)
+        cleaned = aig.cleanup()
+        assert cleaned.num_ands == 1
+        assert aig.num_ands == 2  # original untouched
+
+    def test_cleanup_preserves_function(self, small_adder):
+        cleaned = small_adder.cleanup()
+        assert exhaustive_truth_tables_preserved(small_adder, cleaned)
+
+    def test_clone_is_independent(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.add_po(aig.add_and(a, b))
+        other = aig.clone()
+        other.add_pi()
+        assert aig.num_pis == 2
+        assert other.num_pis == 3
+
+    def test_fanout_counts(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        f = aig.add_and(a, b)
+        g = aig.add_and(f, a)
+        aig.add_po(g)
+        counts = aig.fanout_counts()
+        assert counts[lit_var(a)] == 2
+        assert counts[lit_var(f)] == 1
+        assert counts[lit_var(g)] == 1
+
+
+def exhaustive_truth_tables_preserved(aig_a, aig_b) -> bool:
+    from repro.aig.simulate import random_simulate
+
+    return random_simulate(aig_a, num_words=4, seed=17) == random_simulate(aig_b, num_words=4, seed=17)
+
+
+class TestStats:
+    def test_stats_keys(self, small_adder):
+        stats = small_adder.stats()
+        assert set(stats) == {"pis", "pos", "ands", "levels"}
+        assert stats["ands"] > 0

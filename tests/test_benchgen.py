@@ -1,0 +1,161 @@
+"""Tests of the synthetic benchmark generators (functional correctness + registry)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.simulate import simulate
+from repro.benchgen import arithmetic, control, epfl
+
+
+def _word(bits, n):
+    return sum(b << i for i, b in enumerate(bits[:n]))
+
+
+def _input_bits(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+class TestArithmetic:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_adder(self, x, y):
+        aig = arithmetic.adder(8)
+        outs = simulate(aig, _input_bits(x, 8) + _input_bits(y, 8), width=1)
+        assert _word(outs, 9) == x + y
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=30, deadline=None)
+    def test_multiplier(self, x, y):
+        aig = arithmetic.multiplier(4)
+        outs = simulate(aig, _input_bits(x, 4) + _input_bits(y, 4), width=1)
+        assert _word(outs, 8) == x * y
+
+    @given(st.integers(0, 15))
+    @settings(max_examples=16, deadline=None)
+    def test_square(self, x):
+        aig = arithmetic.square(4)
+        outs = simulate(aig, _input_bits(x, 4), width=1)
+        assert _word(outs, 8) == x * x
+
+    @given(st.integers(0, 15), st.integers(1, 15))
+    @settings(max_examples=30, deadline=None)
+    def test_divider(self, n, d):
+        aig = arithmetic.divider(4)
+        outs = simulate(aig, _input_bits(n, 4) + _input_bits(d, 4), width=1)
+        assert _word(outs[:4], 4) == n // d
+        assert _word(outs[4:8], 4) == n % d
+
+    @given(st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_sqrt(self, x):
+        aig = arithmetic.sqrt(8)
+        outs = simulate(aig, _input_bits(x, 8), width=1)
+        assert _word(outs, 4) == math.isqrt(x)
+
+    @given(st.lists(st.integers(0, 255), min_size=3, max_size=3))
+    @settings(max_examples=20, deadline=None)
+    def test_max_unit(self, words):
+        aig = arithmetic.max_unit(8, 3)
+        bits = []
+        for w in words:
+            bits += _input_bits(w, 8)
+        outs = simulate(aig, bits, width=1)
+        assert _word(outs, 8) == max(words)
+
+    def test_log2_leading_one_position(self):
+        aig = arithmetic.log2_approx(8)
+        for x in (1, 2, 5, 17, 128, 255):
+            outs = simulate(aig, _input_bits(x, 8), width=1)
+            position = _word(outs[:3], 3)
+            assert position == x.bit_length() - 1
+
+    def test_sin_and_hyp_have_arithmetic_structure(self):
+        sin = arithmetic.sin_approx(6)
+        hyp = arithmetic.hyp_approx(4, stages=2)
+        assert sin.num_ands > 50
+        assert hyp.num_ands > 100
+        assert sin.stats()["levels"] > 10
+
+
+class TestControl:
+    def test_arbiter_grants_one_requester(self):
+        num = 8
+        aig = control.arbiter(num)
+        rng = random.Random(0)
+        for _ in range(20):
+            reqs = [rng.randint(0, 1) for _ in range(num)]
+            ptr = rng.randrange(num)
+            pats = reqs + _input_bits(ptr, 3)
+            outs = simulate(aig, pats, width=1)
+            grants, busy = outs[:num], outs[num]
+            assert sum(grants) == (1 if any(reqs) else 0)
+            assert busy == (1 if any(reqs) else 0)
+            if any(reqs):
+                granted = grants.index(1)
+                assert reqs[granted] == 1
+
+    def test_arbiter_priority_rotates_with_pointer(self):
+        aig = control.arbiter(4)
+        reqs = [1, 1, 1, 1]
+        granted = set()
+        for ptr in range(4):
+            outs = simulate(aig, reqs + _input_bits(ptr, 2), width=1)
+            granted.add(outs[:4].index(1))
+        assert len(granted) == 4  # every pointer position grants a different requester
+
+    def test_mem_ctrl_bank_decode(self):
+        aig = control.mem_ctrl(num_banks=2, addr_bits=4, num_requesters=2)
+        # addr=0 selects bank 0; a request with we=0 must pulse rd_bank0 only.
+        pats = _input_bits(0, 4) + [1, 0] + [0] + [0, 0, 0, 0] + [1] * 8
+        outs = simulate(aig, pats, width=1)
+        name_of = [name for _, name in aig.pos]
+        rd0 = outs[name_of.index("rd_bank0")]
+        rd1 = outs[name_of.index("rd_bank1")]
+        assert rd0 == 1 and rd1 == 0
+
+    def test_random_control_deterministic(self):
+        a = control.random_control(seed=3)
+        b = control.random_control(seed=3)
+        assert a.num_ands == b.num_ands
+
+    def test_generators_are_clean(self):
+        for aig in (control.arbiter(6), control.mem_ctrl(2, 5, 2), control.random_control(10, 4)):
+            assert aig.num_ands == aig.cleanup().num_ands
+
+
+class TestRegistry:
+    def test_paper_order_has_ten_circuits(self):
+        assert len(epfl.available_circuits()) == 10
+
+    def test_build_unknown_circuit(self):
+        with pytest.raises(KeyError):
+            epfl.build("notacircuit")
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            epfl.build("adder", preset="huge")
+
+    def test_presets_scale(self):
+        for name in ["adder", "multiplier", "arbiter"]:
+            small = epfl.build(name, preset="test")
+            large = epfl.build(name, preset="bench")
+            assert large.num_ands > small.num_ands
+
+    def test_overrides_forwarded(self):
+        aig = epfl.build("adder", width=4)
+        assert aig.num_pis == 8
+
+    def test_family_classification(self):
+        assert epfl.circuit_family("adder") == "arithmetic"
+        assert epfl.circuit_family("arbiter") == "control"
+
+    def test_circuit_suite_subset(self):
+        suite = epfl.circuit_suite(preset="test", names=["adder", "sin"])
+        assert set(suite) == {"adder", "sin"}
+        assert all(aig.num_ands > 0 for aig in suite.values())

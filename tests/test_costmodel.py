@@ -1,0 +1,157 @@
+"""Tests of the dual cost models: mapping-based QoR and the HOGA-like regressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchgen import arithmetic, control, epfl
+from repro.conversion.dag2eg import aig_to_egraph
+from repro.costmodel.abc_cost import MappingCostModel, QoR
+from repro.costmodel.features import FeatureConfig, circuit_features, hop_features, node_features
+from repro.costmodel.hoga import HogaConfig, HogaModel
+from repro.costmodel.train import evaluate_model, generate_dataset, structural_variants, train_cost_model
+
+
+class TestMappingCostModel:
+    def test_evaluate_returns_positive_qor(self, small_sqrt, library):
+        model = MappingCostModel(library=library)
+        qor = model.evaluate_aig(small_sqrt)
+        assert qor.area > 0 and qor.delay > 0 and qor.num_gates > 0
+
+    def test_cache_hits_do_not_remap(self, small_sqrt, library):
+        model = MappingCostModel(library=library)
+        model.evaluate_aig(small_sqrt)
+        evaluations = model.num_evaluations
+        model.evaluate_aig(small_sqrt)
+        assert model.num_evaluations == evaluations
+
+    def test_cost_combines_delay_and_area(self, small_sqrt, library):
+        delay_only = MappingCostModel(library=library, delay_weight=1.0, area_weight=0.0)
+        with_area = MappingCostModel(library=library, delay_weight=1.0, area_weight=1.0)
+        assert with_area.cost_of_aig(small_sqrt) > delay_only.cost_of_aig(small_sqrt)
+
+    def test_qor_cost_helper(self):
+        qor = QoR(area=10.0, delay=100.0, levels=5, num_gates=7)
+        assert qor.cost(delay_weight=1.0, area_weight=0.1) == pytest.approx(101.0)
+
+    def test_extraction_evaluator(self, small_mem_ctrl, library):
+        model = MappingCostModel(library=library)
+        circuit = aig_to_egraph(small_mem_ctrl)
+        from repro.extraction.greedy import greedy_extract
+
+        evaluator = model.make_extraction_evaluator(circuit)
+        cost = evaluator(greedy_extract(circuit.egraph))
+        assert cost > 0
+
+    def test_fast_mode_close_to_full(self, small_sqrt, library):
+        fast = MappingCostModel(library=library, fast=True).evaluate_aig(small_sqrt)
+        full = MappingCostModel(library=library, fast=False).evaluate_aig(small_sqrt)
+        assert fast.delay >= full.delay * 0.8  # fast mode is rougher but in the same ballpark
+        assert fast.delay <= full.delay * 2.0
+
+
+class TestFeatures:
+    def test_node_feature_shape(self, small_sqrt):
+        feats = node_features(small_sqrt)
+        assert feats.shape == (small_sqrt.num_nodes, 8)
+        assert np.all(feats >= 0) and np.all(feats <= 1.0 + 1e-9)
+
+    def test_hop_features_concatenate(self, small_sqrt):
+        config = FeatureConfig(num_hops=2)
+        feats = hop_features(small_sqrt, config)
+        assert feats.shape == (small_sqrt.num_nodes, 8 * 3)
+
+    def test_circuit_features_fixed_size(self, small_sqrt, small_mem_ctrl):
+        config = FeatureConfig()
+        f1 = circuit_features(small_sqrt, config)
+        f2 = circuit_features(small_mem_ctrl, config)
+        assert f1.shape == f2.shape == (config.circuit_dim,)
+
+    def test_features_distinguish_depth(self):
+        shallow = control.random_control(num_inputs=12, num_outputs=4, terms_per_output=3, seed=1)
+        deep = arithmetic.multiplier(4)
+        f_shallow = circuit_features(shallow)
+        f_deep = circuit_features(deep)
+        assert not np.allclose(f_shallow, f_deep)
+
+
+class TestHogaModel:
+    def _toy_dataset(self, n=40, dim=12, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, dim))
+        y = np.exp(1.0 + 0.5 * x[:, 0] - 0.3 * x[:, 1])  # positive "delays"
+        return x, y
+
+    def test_fit_reduces_loss(self):
+        x, y = self._toy_dataset()
+        model = HogaModel(HogaConfig(epochs=120, hidden_dim=16, seed=1))
+        losses = model.fit(x, y)
+        assert losses[-1] < losses[0]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            HogaModel().predict_features(np.zeros(4))
+
+    def test_predictions_positive(self):
+        x, y = self._toy_dataset()
+        model = HogaModel(HogaConfig(epochs=80, seed=2))
+        model.fit(x, y)
+        preds = model.predict_features(x)
+        assert np.all(preds > 0)
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        x, y = self._toy_dataset()
+        model = HogaModel(HogaConfig(epochs=50, seed=3))
+        model.fit(x, y)
+        path = tmp_path / "model.json"
+        model.save(path)
+        loaded = HogaModel.load(path)
+        assert np.allclose(model.predict_features(x), loaded.predict_features(x))
+
+    def test_predict_aig_runs(self, small_sqrt):
+        model = HogaModel(HogaConfig(epochs=30, seed=4))
+        feats = np.stack([model.featurize(small_sqrt), model.featurize(small_sqrt) * 1.1])
+        model.fit(feats, np.array([100.0, 120.0]))
+        assert model.predict_aig(small_sqrt) > 0
+
+
+class TestTraining:
+    def test_structural_variants_are_equivalent(self, small_mem_ctrl):
+        from repro.aig.simulate import random_simulate
+
+        variants = structural_variants(small_mem_ctrl, num_variants=4, seed=1)
+        assert len(variants) >= 2
+        reference = random_simulate(small_mem_ctrl, 2, seed=55)
+        for variant in variants:
+            assert random_simulate(variant, 2, seed=55) == reference
+
+    def test_generate_dataset_shapes(self, library):
+        circuits = [epfl.build("mem_ctrl", preset="test"), epfl.build("sqrt", preset="test")]
+        model = MappingCostModel(library=library)
+        features, delays, origins = generate_dataset(circuits, variants_per_circuit=3, cost_model=model)
+        assert features.shape[0] == len(delays) == len(origins)
+        assert features.shape[0] >= 4
+        assert np.all(delays > 0)
+
+    def test_train_cost_model_reports_metrics(self, library):
+        circuits = [epfl.build("mem_ctrl", preset="test"), epfl.build("sqrt", preset="test")]
+        model, report = train_cost_model(
+            circuits,
+            variants_per_circuit=4,
+            config=HogaConfig(epochs=60, hidden_dim=16, seed=7),
+            cost_model=MappingCostModel(library=library),
+        )
+        assert report.num_train > 0 and report.num_test > 0
+        assert report.mape >= 0
+        assert -1.0 <= report.kendall_tau <= 1.0
+        # The trained model must produce finite positive predictions.
+        assert model.predict_aig(circuits[0]) > 0
+
+    def test_evaluate_model_handles_zero_delays(self):
+        model = HogaModel(HogaConfig(epochs=10))
+        x = np.random.default_rng(0).normal(size=(6, 5))
+        y = np.abs(np.random.default_rng(1).normal(size=6)) + 1.0
+        model.fit(x, y)
+        mape, tau = evaluate_model(model, x, np.zeros(6))
+        assert mape == 0.0 and tau == 0.0
