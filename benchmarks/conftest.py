@@ -39,22 +39,14 @@ def bench_circuits(names: List[str] | None = None) -> Dict[str, "object"]:
 def fast_emorphic_config(use_ml_model: bool = False, ml_model=None) -> EmorphicConfig:
     """The E-morphic configuration used by the harness.
 
-    Keeps the paper's structure (5 rewrite iterations, 4 SA iterations,
-    T1 = 2000, 4/6 threads) but caps the e-graph size and the number of SA
-    moves so the pure-Python run completes in minutes.
+    The shared campaign profile (:meth:`EmorphicConfig.fast`): the paper's
+    structure with capped e-graph size and SA moves so the pure-Python run
+    completes in minutes, and no final CEC (equivalence of the flow is
+    covered by the test suite).
     """
-    config = EmorphicConfig(
-        rewrite_iterations=5,
-        max_egraph_nodes=20_000,
-        rewrite_time_limit=15.0,
-        num_threads=3,
-        sa_iterations=4,
-        moves_per_iteration=2,
-        use_ml_model=use_ml_model,
-        ml_model=ml_model,
-        verify=False,  # equivalence of the flow is covered by the test suite
-    )
-    config.baseline = BaselineConfig(use_choices=False)
+    config = EmorphicConfig.fast()
+    config.use_ml_model = use_ml_model
+    config.ml_model = ml_model
     return config
 
 
@@ -82,19 +74,12 @@ def trained_cost_model(library):
     return model
 
 
-def geomean(values: List[float]) -> float:
-    import math
-
-    positives = [v for v in values if v > 0]
-    if not positives:
-        return 0.0
-    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+#: Shared with the orchestrator's report aggregation.
+from repro.orchestrate.report import geomean  # noqa: E402,F401
 
 
 def print_table(title: str, header: List[str], rows: List[List[str]]) -> None:
     """Render a table to stdout (visible with ``pytest -s`` and in bench logs)."""
-    widths = [max(len(str(row[i])) for row in [header] + rows) for i in range(len(header))]
-    print(f"\n=== {title} ===")
-    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
-    for row in rows:
-        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    from repro.orchestrate.report import format_table
+
+    print("\n" + format_table(title, header, rows))

@@ -27,6 +27,8 @@ from repro.extraction.sa import SAExtractor, generate_neighbor
 
 from conftest import bench_preset, print_table
 
+pytestmark = [pytest.mark.slow]
+
 RESULTS_PATH = Path(__file__).parent / "results_ablation.json"
 CIRCUIT = "sqrt"
 

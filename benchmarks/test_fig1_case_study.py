@@ -23,6 +23,8 @@ from repro.opt.sop_balance import sop_balance
 
 from conftest import bench_preset, fast_emorphic_config, print_table
 
+pytestmark = [pytest.mark.slow]
+
 RESULTS_PATH = Path(__file__).parent / "results_fig1.json"
 CASE_CIRCUIT = "multiplier"
 NUM_PASSES = 4

@@ -2,10 +2,14 @@
 
 For each circuit the harness reports what fraction of the total runtime is
 spent in (a) the conventional ABC-style delay-oriented flow, (b) e-graph
-conversion, and (c) SA extraction — once with the mapping (ABC-style) cost
-model and once with the ML cost model.  The paper's observation to reproduce:
-the e-graph-specific overhead (conversion + extraction) is a moderate share,
-and the conversion share is negligible.
+conversion plus equality saturation, and (c) SA extraction — once with the
+mapping (ABC-style) cost model and once with the ML cost model.  The paper's
+observation to reproduce: the DAG-to-DAG conversion itself is negligible
+(the e-graph bucket is dominated by the saturation iterations, not by
+getting in and out of the e-graph).
+
+The double sweep runs as one campaign through the orchestrator, so repeated
+harness invocations are served from the persistent result store.
 """
 
 from __future__ import annotations
@@ -15,9 +19,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.flows.emorphic import run_emorphic_flow
+from repro.flows.emorphic import EmorphicConfig, breakdown_from_phases
+from repro.orchestrate import make_job, run_campaign
+from repro.orchestrate.report import fig9_summary, render_fig9
 
-from conftest import bench_circuits, fast_emorphic_config, print_table
+from conftest import TABLE_CIRCUITS, bench_preset
+
+pytestmark = [pytest.mark.slow]
 
 RESULTS_PATH = Path(__file__).parent / "results_fig9.json"
 
@@ -26,50 +34,51 @@ RESULTS_PATH = Path(__file__).parent / "results_fig9.json"
 SUBSET = ["adder", "sqrt", "mem_ctrl", "multiplier"]
 
 
-def _breakdown(result) -> dict:
-    parts = result.runtime_breakdown()
-    total = sum(parts.values()) or 1.0
-    return {name: 100.0 * value / total for name, value in parts.items()}
-
-
-def _run(trained_cost_model) -> dict:
+def _circuit_names() -> list:
     import os
 
-    names = None if os.environ.get("EMORPHIC_FIG9_ALL") else SUBSET
-    circuits = bench_circuits(names)
-    rows = {}
-    for name, aig in circuits.items():
-        abc_model = run_emorphic_flow(aig, fast_emorphic_config())
-        ml_model = run_emorphic_flow(aig, fast_emorphic_config(use_ml_model=True, ml_model=trained_cost_model))
-        rows[name] = {"abc_cost_model": _breakdown(abc_model), "ml_cost_model": _breakdown(ml_model)}
-    return rows
+    return TABLE_CIRCUITS if os.environ.get("EMORPHIC_FIG9_ALL") else SUBSET
+
+
+def _run() -> dict:
+    base = EmorphicConfig.fast()
+    ml = EmorphicConfig.from_dict(base.to_dict())
+    ml.use_ml_model = True
+    preset = bench_preset()
+    jobs = []
+    for name in _circuit_names():
+        jobs.append(make_job(name, "emorphic", config=base, preset=preset, tag="emorphic"))
+        jobs.append(make_job(name, "emorphic", config=ml, preset=preset, tag="emorphic_ml"))
+    campaign = run_campaign(jobs, progress=True)
+    assert campaign.ok, f"campaign had failures: {campaign.summary_line()}"
+
+    summary = fig9_summary(campaign)
+    # The conversion-proper share (without the saturation time folded in)
+    # backs the paper's "conversion is negligible" observation.
+    conversion_share = {}
+    for outcome in campaign.successful():
+        phases = (outcome.record or {}).get("result", {}).get("phase_runtimes") or {}
+        total = sum(breakdown_from_phases(phases).values()) or 1.0
+        variants = conversion_share.setdefault(outcome.spec.circuit.label, {})
+        variants[outcome.spec.tag] = 100.0 * phases.get("conversion", 0.0) / total
+    summary["conversion_share_pct"] = conversion_share
+    return summary
 
 
 @pytest.mark.benchmark(group="fig9")
-def test_fig9_runtime_breakdown(benchmark, trained_cost_model):
-    rows = benchmark.pedantic(_run, args=(trained_cost_model,), rounds=1, iterations=1)
+def test_fig9_runtime_breakdown(benchmark):
+    summary = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = summary["rows"]
 
-    header = ["Circuit", "cost model", "ABC flow %", "conversion %", "SA extraction %"]
-    table = []
-    for name, row in rows.items():
-        for mode in ("abc_cost_model", "ml_cost_model"):
-            parts = row[mode]
-            table.append(
-                [
-                    name,
-                    "ABC map" if mode == "abc_cost_model" else "ML model",
-                    f"{parts['abc_flow']:.1f}",
-                    f"{parts['egraph_conversion']:.1f}",
-                    f"{parts['sa_extraction']:.1f}",
-                ]
-            )
-    print_table("Figure 9: runtime breakdown of E-morphic", header, table)
-    RESULTS_PATH.write_text(json.dumps(rows, indent=2))
+    print()
+    print(render_fig9(summary, title="Figure 9: runtime breakdown of E-morphic"))
+    RESULTS_PATH.write_text(json.dumps(summary, indent=2))
 
     for name, row in rows.items():
-        for mode in ("abc_cost_model", "ml_cost_model"):
-            parts = row[mode]
+        for variant in ("emorphic", "emorphic_ml"):
+            parts = row[variant]
             assert abs(sum(parts.values()) - 100.0) < 1e-6
-            # Conversion is the negligible component, as in the paper.
-            assert parts["egraph_conversion"] <= parts["sa_extraction"] + parts["abc_flow"]
-            assert parts["egraph_conversion"] < 20.0
+            assert all(value >= 0.0 for value in parts.values())
+            # Conversion proper is the negligible component, as in the paper;
+            # the e-graph bucket is saturation time.
+            assert summary["conversion_share_pct"][name][variant] < 10.0

@@ -20,6 +20,8 @@ from repro.flows.emorphic import run_emorphic_flow
 
 from conftest import bench_preset, fast_emorphic_config, print_table
 
+pytestmark = [pytest.mark.slow]
+
 RESULTS_PATH = Path(__file__).parent / "results_sec4d.json"
 
 

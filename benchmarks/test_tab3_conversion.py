@@ -24,6 +24,8 @@ from repro.conversion.sexpr import ConversionBudgetExceeded, aig_to_sexpr, sexpr
 
 from conftest import TABLE_CIRCUITS, bench_circuits, geomean, print_table
 
+pytestmark = [pytest.mark.slow]
+
 RESULTS_PATH = Path(__file__).parent / "results_tab3.json"
 
 #: Budgets for the S-expression baseline (scaled down from the paper's

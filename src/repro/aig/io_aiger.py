@@ -12,9 +12,13 @@ from typing import List, Union
 from repro.aig.graph import Aig, lit_is_compl, lit_var, var_lit
 
 
-def write_aag(aig: Aig, path: Union[str, Path]) -> None:
-    """Write an AIG to an ASCII AIGER file."""
-    path = Path(path)
+def aag_to_string(aig: Aig) -> str:
+    """Render an AIG as ASCII AIGER text.
+
+    The rendering is canonical for a given AIG (PIs first, then AND nodes in
+    node order), so it doubles as the content form hashed by the campaign
+    orchestrator (:mod:`repro.orchestrate.jobs`).
+    """
     # Variables in AIGER must be numbered: PIs first, then ANDs, consecutively.
     old2new = {0: 0}
     next_var = 1
@@ -44,13 +48,17 @@ def write_aag(aig: Aig, path: Union[str, Path]) -> None:
     for i, (_, name) in enumerate(aig.pos):
         if name:
             lines.append(f"o{i} {name}")
-    path.write_text("\n".join(lines) + "\n")
+    return "\n".join(lines) + "\n"
 
 
-def read_aag(path: Union[str, Path]) -> Aig:
-    """Read an ASCII AIGER file into an AIG."""
-    path = Path(path)
-    lines = [ln.strip() for ln in path.read_text().splitlines() if ln.strip()]
+def write_aag(aig: Aig, path: Union[str, Path]) -> None:
+    """Write an AIG to an ASCII AIGER file."""
+    Path(path).write_text(aag_to_string(aig))
+
+
+def aag_from_string(text: str, name: str = "aig") -> Aig:
+    """Parse ASCII AIGER text into an AIG."""
+    lines = [ln.strip() for ln in text.splitlines() if ln.strip()]
     header = lines[0].split()
     if header[0] != "aag":
         raise ValueError("only ASCII AIGER (aag) is supported")
@@ -59,7 +67,7 @@ def read_aag(path: Union[str, Path]) -> Aig:
     if num_latches:
         raise ValueError("latches are not supported")
 
-    aig = Aig(name=path.stem)
+    aig = Aig(name=name)
     idx = 1
     file2lit = {0: 0, 1: 1}
     pi_lines: List[int] = []
@@ -109,3 +117,9 @@ def read_aag(path: Union[str, Path]) -> Aig:
     for i, file_lit in enumerate(po_lines):
         aig.add_po(resolve(file_lit), po_names.get(i))
     return aig
+
+
+def read_aag(path: Union[str, Path]) -> Aig:
+    """Read an ASCII AIGER file into an AIG."""
+    path = Path(path)
+    return aag_from_string(path.read_text(), name=path.stem)

@@ -9,7 +9,8 @@ Table II harness finishes in minutes of pure Python).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.aig.graph import Aig
 from repro.benchgen import arithmetic, control
@@ -102,3 +103,20 @@ def circuit_suite(preset: str = "bench", names: Optional[List[str]] = None) -> D
 def circuit_family(name: str) -> str:
     """Family ("arithmetic"/"control") of a registered circuit."""
     return _REGISTRY[name].family
+
+
+@lru_cache(maxsize=None)
+def _cached_content(name: str, preset: str, overrides: Tuple[Tuple[str, int], ...]) -> str:
+    from repro.aig.io_aiger import aag_to_string
+
+    return aag_to_string(build(name, preset=preset, **dict(overrides)))
+
+
+def circuit_content(name: str, preset: str = "bench", **overrides) -> str:
+    """Canonical AIGER text of a registered circuit, memoized per process.
+
+    Generators are deterministic, so this text is the content form that the
+    orchestrator hashes when computing job keys — workers and the coordinator
+    agree on keys without shipping the AIG between processes.
+    """
+    return _cached_content(name, preset, tuple(sorted(overrides.items())))

@@ -6,20 +6,27 @@ Subcommands:
 * ``baseline``  — run the delay-oriented baseline flow;
 * ``run``       — run the E-morphic flow;
 * ``compare``   — run both and print the Table II row for one circuit;
-* ``list``      — list available benchmark circuits.
+* ``list``      — list available benchmark circuits;
+* ``batch``     — run a whole campaign (circuits x flows) process-parallel
+  with persistent result caching;
+* ``sweep``     — design-space exploration over config grids;
+* ``cache``     — inspect or clear the persistent result store.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.aig.graph import Aig
 from repro.aig.io_aiger import read_aag
 from repro.benchgen import epfl
 from repro.flows.baseline import BaselineConfig, run_baseline_flow
 from repro.flows.emorphic import EmorphicConfig, run_emorphic_flow
+
+FLOW_VARIANTS = ("baseline", "emorphic", "emorphic_ml")
 
 
 def _load_circuit(args: argparse.Namespace) -> Aig:
@@ -31,6 +38,42 @@ def _load_circuit(args: argparse.Namespace) -> Aig:
 def _add_circuit_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("circuit", help="benchmark name (see 'list') or path to an .aag file")
     parser.add_argument("--preset", default="test", choices=["test", "bench"], help="benchmark size preset")
+
+
+def _add_emorphic_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--iterations", type=int, default=5, help="e-graph rewriting iterations")
+    parser.add_argument("--threads", type=int, default=4, help="parallel SA extraction threads")
+    parser.add_argument("--seed", type=int, default=7, help="base seed of the parallel SA chains")
+    parser.add_argument(
+        "--extraction-cost",
+        default="depth",
+        choices=["depth", "nodes"],
+        help="guiding cost inside the SA extractor",
+    )
+    parser.add_argument(
+        "--use-ml-model",
+        action="store_true",
+        help="evaluate SA candidates with the learned cost model (trains a small default model)",
+    )
+    parser.add_argument("--no-verify", action="store_true", help="skip the final equivalence check")
+    parser.add_argument("--no-choices", action="store_true", help="disable choice computation (dch)")
+
+
+def _emorphic_config(args: argparse.Namespace) -> EmorphicConfig:
+    config = EmorphicConfig(
+        rewrite_iterations=args.iterations,
+        num_threads=args.threads,
+        seed=args.seed,
+        extraction_cost=args.extraction_cost,
+        use_ml_model=args.use_ml_model,
+        verify=not args.no_verify,
+    )
+    config.baseline.use_choices = not args.no_choices
+    if config.use_ml_model:
+        from repro.costmodel.train import default_ml_model
+
+        config.ml_model = default_ml_model()
+    return config
 
 
 def cmd_list(_: argparse.Namespace) -> int:
@@ -59,13 +102,7 @@ def cmd_baseline(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     aig = _load_circuit(args)
-    config = EmorphicConfig(
-        rewrite_iterations=args.iterations,
-        num_threads=args.threads,
-        verify=not args.no_verify,
-    )
-    config.baseline.use_choices = not args.no_choices
-    result = run_emorphic_flow(aig, config)
+    result = run_emorphic_flow(aig, _emorphic_config(args))
     print(
         f"{aig.name}: area={result.area:.2f} um^2  delay={result.delay:.2f} ps  "
         f"lev={result.levels}  runtime={result.runtime:.2f} s"
@@ -82,9 +119,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     aig = _load_circuit(args)
     baseline = run_baseline_flow(aig, BaselineConfig(use_choices=not args.no_choices))
-    config = EmorphicConfig(verify=not args.no_verify)
-    config.baseline.use_choices = not args.no_choices
-    emorphic = run_emorphic_flow(aig, config)
+    emorphic = run_emorphic_flow(aig, _emorphic_config(args))
     print(f"{'flow':12s} {'area (um^2)':>12s} {'delay (ps)':>12s} {'lev':>6s} {'runtime (s)':>12s}")
     print(
         f"{'baseline':12s} {baseline.area:12.2f} {baseline.delay:12.2f} "
@@ -98,6 +133,173 @@ def cmd_compare(args: argparse.Namespace) -> int:
         print(f"delay reduction: {100 * (baseline.delay - emorphic.delay) / baseline.delay:.2f}%")
     if baseline.area > 0:
         print(f"area saving:     {100 * (baseline.area - emorphic.area) / baseline.area:.2f}%")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Campaign orchestration (batch / sweep / cache).
+
+
+def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--circuits",
+        default=None,
+        help="comma-separated benchmark names (default: the full Table II suite)",
+    )
+    parser.add_argument("--preset", default="test", choices=["test", "bench"], help="benchmark size preset")
+    parser.add_argument(
+        "--profile",
+        default="fast",
+        choices=["fast", "paper"],
+        help="base E-morphic configuration (fast campaign profile or paper defaults)",
+    )
+    parser.add_argument("--jobs", type=int, default=None, help="worker processes (default: CPU-bounded)")
+    parser.add_argument("--store", default=None, help="result store directory (default: $EMORPHIC_STORE or ~/.cache/emorphic/store)")
+    parser.add_argument("--no-cache", action="store_true", help="ignore and overwrite cached results")
+    parser.add_argument("--timeout", type=float, default=None, help="per-job timeout in seconds")
+    parser.add_argument("--json", default=None, help="write the full report to this JSON file")
+
+
+def _campaign_circuits(args: argparse.Namespace) -> List[str]:
+    if args.circuits:
+        names = [name.strip() for name in args.circuits.split(",") if name.strip()]
+        available = set(epfl.available_circuits())
+        unknown = [name for name in names if name not in available and not name.endswith(".aag")]
+        if unknown:
+            raise SystemExit(f"unknown circuits: {', '.join(unknown)}")
+        return names
+    return epfl.available_circuits()
+
+
+def _campaign_base_config(args: argparse.Namespace) -> EmorphicConfig:
+    return EmorphicConfig.fast() if args.profile == "fast" else EmorphicConfig()
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.orchestrate import make_job, run_campaign
+    from repro.orchestrate.report import render_table2, table2_summary
+
+    flows = [flow.strip() for flow in args.flows.split(",") if flow.strip()]
+    unknown = [flow for flow in flows if flow not in FLOW_VARIANTS]
+    if unknown:
+        raise SystemExit(f"unknown flows: {', '.join(unknown)} (choose from {', '.join(FLOW_VARIANTS)})")
+
+    base_emorphic = _campaign_base_config(args)
+    baseline_config = base_emorphic.baseline
+    jobs = []
+    for name in _campaign_circuits(args):
+        for flow in flows:
+            if flow == "baseline":
+                jobs.append(make_job(name, "baseline", config=baseline_config, preset=args.preset))
+            else:
+                config = EmorphicConfig.from_dict(base_emorphic.to_dict())
+                config.use_ml_model = flow == "emorphic_ml"
+                jobs.append(
+                    make_job(name, "emorphic", config=config, preset=args.preset, tag=flow)
+                )
+
+    report = run_campaign(
+        jobs,
+        store=args.store,
+        max_workers=args.jobs,
+        job_timeout=args.timeout,
+        use_cache=not args.no_cache,
+        progress=True,
+    )
+    summary = table2_summary(report)
+    if summary["rows"]:
+        print()
+        print(render_table2(summary, title=f"Campaign QoR ({args.preset} preset)"))
+    if args.json:
+        payload = {"campaign": report.to_dict(), "summary": summary}
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
+def _coerce(text: str) -> object:
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_grid(params: Sequence[str]) -> Dict[str, List[object]]:
+    grid: Dict[str, List[object]] = {}
+    for param in params:
+        if "=" not in param:
+            raise SystemExit(f"malformed --param {param!r} (expected name=value,value,...)")
+        name, values = param.split("=", 1)
+        parsed = [_coerce(value.strip()) for value in values.split(",") if value.strip()]
+        if not parsed:
+            raise SystemExit(f"--param {param!r} has no values")
+        grid[name.strip()] = parsed
+    return grid
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.orchestrate import run_sweep
+    from repro.orchestrate.report import render_frontier
+    from repro.orchestrate.sweep import apply_overrides
+
+    grid = _parse_grid(args.param or [])
+    base_config = _campaign_base_config(args)
+    # Validate the grid keys before launching any jobs.
+    try:
+        apply_overrides(base_config.to_dict(), {name: values[0] for name, values in grid.items()})
+    except KeyError as exc:
+        raise SystemExit(f"sweep error: {exc.args[0]}")
+
+    report = run_sweep(
+        _campaign_circuits(args),
+        grid,
+        base_config=base_config,
+        preset=args.preset,
+        store=args.store,
+        max_workers=args.jobs,
+        job_timeout=args.timeout,
+        use_cache=not args.no_cache,
+        progress=True,
+    )
+    frontier = report.frontier()
+    if frontier:
+        print()
+        print(render_frontier(frontier, title=f"Sweep frontier ({len(report.points)} grid points)"))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.json}")
+    return 0 if report.campaign.ok else 1
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.orchestrate import ResultStore
+
+    store = ResultStore(args.store)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"store:   {stats['path']}")
+        print(f"records: {stats['records']} ({stats['total_bytes'] / 1024:.1f} KiB)")
+        for scope in ("per_flow", "per_circuit"):
+            for name, count in sorted(stats[scope].items()):
+                print(f"  {scope[4:]}: {name:12s} {count}")
+    elif args.action == "list":
+        for record in store.records():
+            job = record.get("job") or {}
+            circuit = (job.get("circuit") or {}).get("name", "?")
+            result = record.get("result") or {}
+            print(
+                f"{record.get('key', '?'):24s} {job.get('flow', '?'):9s} {circuit:12s} "
+                f"delay={result.get('delay', 0.0):8.2f} area={result.get('area', 0.0):10.2f}"
+            )
+    elif args.action == "clear":
+        print(f"removed {store.clear()} records from {store.root}")
     return 0
 
 
@@ -119,17 +321,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run the E-morphic flow")
     _add_circuit_args(p_run)
-    p_run.add_argument("--iterations", type=int, default=5, help="e-graph rewriting iterations")
-    p_run.add_argument("--threads", type=int, default=4, help="parallel SA extraction threads")
-    p_run.add_argument("--no-verify", action="store_true", help="skip the final equivalence check")
-    p_run.add_argument("--no-choices", action="store_true", help="disable choice computation (dch)")
+    _add_emorphic_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare baseline and E-morphic on one circuit")
     _add_circuit_args(p_cmp)
-    p_cmp.add_argument("--no-verify", action="store_true")
-    p_cmp.add_argument("--no-choices", action="store_true")
+    _add_emorphic_args(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_batch = sub.add_parser(
+        "batch", help="run a campaign of circuits x flows process-parallel with caching"
+    )
+    p_batch.add_argument(
+        "--flows",
+        default="baseline,emorphic",
+        help=f"comma-separated flow variants ({', '.join(FLOW_VARIANTS)})",
+    )
+    _add_campaign_args(p_batch)
+    p_batch.set_defaults(func=cmd_batch)
+
+    p_sweep = sub.add_parser("sweep", help="design-space exploration over config grids")
+    p_sweep.add_argument(
+        "--param",
+        action="append",
+        metavar="NAME=V1,V2,...",
+        help="grid dimension over an EmorphicConfig field (dotted baseline.* reaches the "
+        "nested baseline config); repeatable",
+    )
+    _add_campaign_args(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the persistent result store")
+    p_cache.add_argument("action", choices=["stats", "list", "clear"])
+    p_cache.add_argument("--store", default=None, help="result store directory")
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 

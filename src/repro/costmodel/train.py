@@ -161,3 +161,23 @@ def train_cost_model(
         mape=mape, kendall_tau=tau, num_train=len(train_idx), num_test=len(test_idx), loss_trace=losses
     )
     return model, report
+
+
+def default_ml_model(seed: int = 0) -> HogaModel:
+    """A small default cost model trained on tiny circuits.
+
+    Used where a job asks for ``use_ml_model=True`` but no trained instance is
+    at hand — the ``emorphic run --use-ml-model`` CLI path and orchestration
+    worker processes (a model instance is not part of a job's identity, so it
+    is never pickled across the pool).
+    """
+    from repro.benchgen import epfl
+
+    circuits = [epfl.build(name, preset="test") for name in ("adder", "sqrt", "arbiter")]
+    model, _ = train_cost_model(
+        circuits,
+        variants_per_circuit=4,
+        config=HogaConfig(epochs=100, hidden_dim=16, seed=seed),
+        seed=seed,
+    )
+    return model

@@ -14,6 +14,7 @@ linearly with the circuit, unlike the S-expression path of E-Syn.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Dict, List, Tuple, Union
 
@@ -61,7 +62,17 @@ def egraph_to_dsl(egraph: EGraph, indent: int | None = None) -> str:
             "nodes": [_enode_to_dsl(n.canonicalize(egraph.union_find)) for n in eclass.nodes],
             "parents": sorted(set(parents.get(cid, []))),
         }
-    return json.dumps({"egraph": doc}, indent=indent)
+    return json.dumps({"egraph": doc}, indent=indent, sort_keys=True)
+
+
+def egraph_digest(egraph: EGraph) -> str:
+    """Stable content hash of an e-graph (hex digest of its canonical DSL).
+
+    Two e-graphs with identical canonical classes and e-nodes hash equally
+    (``egraph_to_dsl`` sorts keys), so the digest can answer "did saturation
+    change anything?" or content-address an e-graph snapshot.
+    """
+    return hashlib.sha256(egraph_to_dsl(egraph).encode("utf-8")).hexdigest()
 
 
 def egraph_from_dsl(text: str) -> Tuple[EGraph, Dict[int, int]]:

@@ -8,7 +8,7 @@ mapping.  This is the "SOP Balancing Baseline" column of Table II.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional
 
 from repro.aig.graph import Aig
@@ -31,6 +31,18 @@ class BaselineConfig:
     choice_sat_budget: int = 300
     choice_max_pairs: int = 400
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (used for job hashing and the result store)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BaselineConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown BaselineConfig fields: {sorted(unknown)}")
+        return cls(**data)
+
 
 @dataclass
 class BaselineResult:
@@ -43,6 +55,18 @@ class BaselineResult:
     levels: int
     runtime: float
     phase_runtimes: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable QoR summary (the AIG itself is stored as AIGER text)."""
+        return {
+            "flow": "baseline",
+            "area": self.area,
+            "delay": self.delay,
+            "levels": self.levels,
+            "runtime": self.runtime,
+            "num_gates": self.mapping.num_gates,
+            "phase_runtimes": dict(self.phase_runtimes),
+        }
 
 
 def run_baseline_flow(

@@ -17,7 +17,7 @@ Pipeline (Fig. 5 of the paper):
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
 from repro.aig.graph import Aig
@@ -58,6 +58,7 @@ class EmorphicConfig:
     moves_per_iteration: int = 4
     p_random: float = 0.1
     pruned: bool = True
+    seed: int = 7  # base seed of the parallel SA chains
     extraction_cost: str = "depth"  # guiding cost inside Algorithm 1
     # Cost model.
     use_ml_model: bool = False
@@ -66,6 +67,53 @@ class EmorphicConfig:
     verify: bool = True
     verify_sim_words: int = 8
     verify_conflict_budget: Optional[int] = 20_000
+
+    @classmethod
+    def fast(cls) -> "EmorphicConfig":
+        """The campaign profile: the paper's structure with capped e-graph
+        size, fewer SA moves, no choices and no final CEC — what the
+        benchmark harness and ``emorphic batch``/``sweep`` default to so
+        whole-suite campaigns finish in minutes of pure Python.
+        """
+        config = cls(
+            rewrite_iterations=4,
+            max_egraph_nodes=12_000,
+            rewrite_time_limit=10.0,
+            num_threads=2,
+            sa_iterations=3,
+            moves_per_iteration=2,
+            verify=False,
+        )
+        config.baseline = BaselineConfig(use_choices=False)
+        return config
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (used for job hashing and the result store).
+
+        ``ml_model`` is deliberately excluded: a trained model instance is not
+        part of a job's identity.  Workers that receive ``use_ml_model=True``
+        with no model train the default one (``costmodel.train.default_ml_model``).
+        """
+        data = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in ("baseline", "ml_model")
+        }
+        data["baseline"] = self.baseline.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EmorphicConfig":
+        data = dict(data)
+        baseline = data.pop("baseline", None)
+        known = {f.name for f in fields(cls)} - {"baseline", "ml_model"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown EmorphicConfig fields: {sorted(unknown)}")
+        config = cls(**data)
+        if baseline is not None:
+            config.baseline = BaselineConfig.from_dict(baseline)
+        return config
 
 
 @dataclass
@@ -86,12 +134,35 @@ class EmorphicResult:
 
     def runtime_breakdown(self) -> Dict[str, float]:
         """The three components plotted in Fig. 9."""
-        abc_time = self.phase_runtimes.get("tech_independent", 0.0) + self.phase_runtimes.get("final_map", 0.0)
+        return breakdown_from_phases(self.phase_runtimes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable QoR summary (the AIG itself is stored as AIGER text)."""
         return {
-            "abc_flow": abc_time,
-            "egraph_conversion": self.phase_runtimes.get("conversion", 0.0),
-            "sa_extraction": self.phase_runtimes.get("extraction", 0.0),
+            "flow": "emorphic",
+            "area": self.area,
+            "delay": self.delay,
+            "levels": self.levels,
+            "runtime": self.runtime,
+            "num_gates": self.mapping.num_gates,
+            "num_candidates": self.num_candidates,
+            "baseline_delay_before_resynthesis": self.baseline_delay_before_resynthesis,
+            "phase_runtimes": dict(self.phase_runtimes),
+            "equivalence": None if self.equivalence is None else self.equivalence.status,
         }
+
+
+def breakdown_from_phases(phases: Dict[str, float]) -> Dict[str, float]:
+    """Bucket raw phase runtimes into the three Fig. 9 components.
+
+    Equality-saturation time counts toward the e-graph conversion bucket, so
+    the buckets sum to the resynthesis part of the total flow time.
+    """
+    return {
+        "abc_flow": phases.get("tech_independent", 0.0) + phases.get("final_map", 0.0),
+        "egraph_conversion": phases.get("conversion", 0.0) + phases.get("rewriting", 0.0),
+        "sa_extraction": phases.get("extraction", 0.0),
+    }
 
 
 def run_emorphic_flow(
@@ -161,6 +232,7 @@ def run_emorphic_flow(
         schedule=AnnealingSchedule(
             initial_temperature=config.initial_temperature, num_iterations=config.sa_iterations
         ),
+        seed=config.seed,
         pruned=config.pruned,
     )
     roots = list(circuit.output_classes)

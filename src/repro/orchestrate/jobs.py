@@ -1,0 +1,216 @@
+"""Job specifications for campaign orchestration.
+
+A :class:`JobSpec` pins down one unit of work — a circuit, a flow, and a
+serialized flow configuration — and derives a deterministic *content* key
+from the input AIG's canonical AIGER text plus the config.  Two jobs with
+the same circuit content and the same config hash identically regardless of
+how the circuit was referenced (registry name vs. ``.aag`` file), so the
+result store can short-circuit repeated work across invocations.
+
+Everything in this module is picklable: specs cross the process pool, and
+worker processes resolve circuit references locally instead of receiving
+AIG objects over the wire.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.aig.graph import Aig
+from repro.aig.io_aiger import aag_to_string, read_aag
+from repro.benchgen import epfl
+from repro.flows.baseline import BaselineConfig, run_baseline_flow
+from repro.flows.emorphic import EmorphicConfig, run_emorphic_flow
+
+#: Bump when the record layout or hash recipe changes: old store entries
+#: become unreachable instead of being misread.
+SCHEMA_VERSION = 1
+
+FLOWS = ("baseline", "emorphic")
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Content hash of the ``repro`` package sources.
+
+    Folded into every job hash so stored results are only reused while the
+    code that produced them is unchanged — after an algorithm edit a cached
+    campaign re-runs instead of silently reporting the old numbers.
+    """
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CircuitRef:
+    """A reference to a circuit that worker processes can resolve locally.
+
+    Either a registered benchmark name (resolved through
+    :func:`repro.benchgen.epfl.build` with ``preset`` and ``overrides``) or a
+    path to an ASCII AIGER file (when ``name`` ends in ``.aag``).
+    """
+
+    name: str
+    preset: str = "bench"
+    overrides: Tuple[Tuple[str, int], ...] = ()
+
+    @classmethod
+    def make(cls, name: str, preset: str = "bench", **overrides) -> "CircuitRef":
+        return cls(name=name, preset=preset, overrides=tuple(sorted(overrides.items())))
+
+    @property
+    def is_file(self) -> bool:
+        return self.name.endswith(".aag")
+
+    @property
+    def label(self) -> str:
+        return Path(self.name).stem if self.is_file else self.name
+
+    def build(self) -> Aig:
+        """Materialize the AIG (fresh object, safe to hand to a flow)."""
+        if self.is_file:
+            return read_aag(self.name)
+        return epfl.build(self.name, preset=self.preset, **dict(self.overrides))
+
+    def content(self) -> str:
+        """Canonical AIGER text of the referenced circuit."""
+        if self.is_file:
+            return aag_to_string(read_aag(self.name))
+        return epfl.circuit_content(self.name, preset=self.preset, **dict(self.overrides))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "preset": self.preset,
+            "overrides": [list(pair) for pair in self.overrides],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CircuitRef":
+        return cls(
+            name=str(data["name"]),
+            preset=str(data.get("preset", "bench")),
+            overrides=tuple((str(k), v) for k, v in data.get("overrides", [])),
+        )
+
+
+@dataclass
+class JobSpec:
+    """One circuit through one flow under one configuration."""
+
+    circuit: CircuitRef
+    flow: str  # "baseline" or "emorphic"
+    config: Dict[str, object] = field(default_factory=dict)
+    #: Free-form tag distinguishing variants of the same flow in reports
+    #: (e.g. "emorphic_ml"); not part of the job hash.
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.flow not in FLOWS:
+            raise ValueError(f"unknown flow {self.flow!r}; expected one of {FLOWS}")
+
+    @property
+    def label(self) -> str:
+        return f"{self.tag or self.flow}:{self.circuit.label}"
+
+    def job_hash(self) -> str:
+        """Deterministic content key: input AIG text + flow + canonical config."""
+        payload = json.dumps(
+            {
+                "schema": SCHEMA_VERSION,
+                "code": code_fingerprint(),
+                "aig": self.circuit.content(),
+                "flow": self.flow,
+                "config": self.config,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "circuit": self.circuit.to_dict(),
+            "flow": self.flow,
+            "config": dict(self.config),
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "JobSpec":
+        return cls(
+            circuit=CircuitRef.from_dict(data["circuit"]),
+            flow=str(data["flow"]),
+            config=dict(data.get("config", {})),
+            tag=data.get("tag"),
+        )
+
+
+def make_job(
+    circuit: Union[str, CircuitRef],
+    flow: str,
+    config: Union[None, Dict[str, object], BaselineConfig, EmorphicConfig] = None,
+    preset: str = "bench",
+    tag: Optional[str] = None,
+) -> JobSpec:
+    """Convenience constructor accepting config objects or plain dicts."""
+    if isinstance(circuit, str):
+        circuit = CircuitRef.make(circuit, preset=preset)
+    if config is None:
+        config = BaselineConfig() if flow == "baseline" else EmorphicConfig()
+    if isinstance(config, (BaselineConfig, EmorphicConfig)):
+        config = config.to_dict()
+    return JobSpec(circuit=circuit, flow=flow, config=dict(config), tag=tag)
+
+
+# The default ML model is trained at most once per worker process and reused
+# by every ML-mode job the worker executes.
+_ML_MODEL_CACHE: Dict[int, object] = {}
+
+
+def _worker_ml_model(seed: int = 0):
+    if seed not in _ML_MODEL_CACHE:
+        from repro.costmodel.train import default_ml_model
+
+        _ML_MODEL_CACHE[seed] = default_ml_model(seed=seed)
+    return _ML_MODEL_CACHE[seed]
+
+
+def run_job(spec: JobSpec, key: Optional[str] = None) -> Dict[str, object]:
+    """Execute one job and return its store record (runs inside workers).
+
+    ``key`` is the precomputed job hash; when omitted it is derived from the
+    spec (hashing re-renders the circuit content, so callers that already
+    hold the key should pass it).
+    """
+    aig = spec.circuit.build()
+    started = time.time()
+    t0 = time.perf_counter()
+    if spec.flow == "baseline":
+        result = run_baseline_flow(aig, BaselineConfig.from_dict(spec.config))
+    else:
+        config = EmorphicConfig.from_dict(spec.config)
+        if config.use_ml_model and config.ml_model is None:
+            config.ml_model = _worker_ml_model()
+        result = run_emorphic_flow(aig, config)
+    wall_time = time.perf_counter() - t0
+    return {
+        "schema": SCHEMA_VERSION,
+        "key": key or spec.job_hash(),
+        "job": spec.to_dict(),
+        "result": result.to_dict(),
+        "aig_aag": aag_to_string(result.aig),
+        "wall_time": wall_time,
+        "timestamp": started,
+    }

@@ -313,3 +313,15 @@ class TestSerialize:
         text = egraph_to_dsl(eg)
         back, _ = egraph_from_dsl(text)
         assert back.num_classes == eg.num_classes
+
+    def test_digest_stable_and_content_sensitive(self):
+        from repro.egraph.serialize import egraph_digest
+
+        eg = self._circuit_egraph()
+        other = self._circuit_egraph()
+        assert egraph_digest(eg) == egraph_digest(other)
+        other.add_term(AND, [other.var("a"), other.var("x")])
+        assert egraph_digest(eg) != egraph_digest(other)
+        # A roundtrip through the DSL preserves the digest.
+        back, _ = egraph_from_dsl(egraph_to_dsl(eg))
+        assert egraph_digest(back) == egraph_digest(eg)
