@@ -2,7 +2,9 @@
 
 The package is organised into substrates (``aig``, ``opt``, ``mapping``,
 ``egraph``, ``verify``, ``benchgen``) and the E-morphic contribution itself
-(``conversion``, ``extraction``, ``costmodel``, ``flows``).
+(``conversion``, ``extraction``, ``costmodel``, ``flows``); ``pipeline``
+exposes every transform as a registered pass composable into scriptable,
+first-class pipelines.
 
 Quick start::
 
@@ -22,6 +24,7 @@ from repro import (
     flows,
     mapping,
     opt,
+    pipeline,
     verify,
 )
 
@@ -37,6 +40,7 @@ __all__ = [
     "flows",
     "mapping",
     "opt",
+    "pipeline",
     "verify",
     "__version__",
 ]

@@ -6,10 +6,15 @@ Subcommands:
 * ``baseline``  — run the delay-oriented baseline flow;
 * ``run``       — run the E-morphic flow;
 * ``compare``   — run both and print the Table II row for one circuit;
+* ``pipeline``  — run an arbitrary scripted pass pipeline
+  (``--script "st; sopb; dag2eg; saturate(iters=4); extract(sa); map; cec"``);
+* ``scripts``   — list the registered passes and named optimization scripts;
 * ``list``      — list available benchmark circuits;
-* ``batch``     — run a whole campaign (circuits x flows) process-parallel
-  with persistent result caching;
-* ``sweep``     — design-space exploration over config grids;
+* ``batch``     — run a whole campaign (circuits x flows, or circuits x a
+  scripted pipeline via ``--script``) process-parallel with persistent
+  result caching;
+* ``sweep``     — design-space exploration over config grids, or over flow
+  *shapes* with repeated ``--script`` options;
 * ``cache``     — inspect or clear the persistent result store.
 """
 
@@ -41,7 +46,26 @@ def _add_circuit_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_emorphic_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--iterations", type=int, default=5, help="e-graph rewriting iterations")
+    parser.add_argument(
+        "--iterations",
+        "--rewrite-iterations",
+        dest="iterations",
+        type=int,
+        default=5,
+        help="e-graph rewriting (equality saturation) iterations",
+    )
+    parser.add_argument(
+        "--max-egraph-nodes",
+        type=int,
+        default=40_000,
+        help="node cap stopping equality saturation",
+    )
+    parser.add_argument(
+        "--sa-iterations",
+        type=int,
+        default=4,
+        help="annealing iterations per SA extraction chain",
+    )
     parser.add_argument("--threads", type=int, default=4, help="parallel SA extraction threads")
     parser.add_argument("--seed", type=int, default=7, help="base seed of the parallel SA chains")
     parser.add_argument(
@@ -62,6 +86,8 @@ def _add_emorphic_args(parser: argparse.ArgumentParser) -> None:
 def _emorphic_config(args: argparse.Namespace) -> EmorphicConfig:
     config = EmorphicConfig(
         rewrite_iterations=args.iterations,
+        max_egraph_nodes=args.max_egraph_nodes,
+        sa_iterations=args.sa_iterations,
         num_threads=args.threads,
         seed=args.seed,
         extraction_cost=args.extraction_cost,
@@ -137,6 +163,71 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------
+# Scripted pipelines.
+
+
+def _build_pipeline(script: str):
+    """Parse a pipeline script, turning parse errors into clean CLI errors."""
+    from repro.pipeline import Pipeline, PipelineError
+
+    try:
+        return Pipeline.from_script(script)
+    except PipelineError as exc:
+        raise SystemExit(f"pipeline error: {exc}")
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    aig = _load_circuit(args)
+    pipeline = _build_pipeline(args.script)
+
+    def on_pass_end(name: str, ctx, seconds: float) -> None:
+        if args.verbose:
+            stats = ctx.aig.stats()
+            print(f"  {name:12s} {seconds:7.2f} s  ands={stats['ands']} levels={stats['levels']}")
+
+    result = pipeline.run_flow(aig, on_pass_end=on_pass_end if args.verbose else None)
+    print(f"pipeline: {pipeline.to_script()}")
+    if result.mapping is not None:
+        print(
+            f"{aig.name}: area={result.mapping.area:.2f} um^2  delay={result.mapping.delay:.2f} ps  "
+            f"lev={result.levels}  runtime={result.runtime:.2f} s"
+        )
+    else:
+        stats = result.aig.stats()
+        print(
+            f"{aig.name}: ands={stats['ands']}  levels={stats['levels']}  "
+            f"runtime={result.runtime:.2f} s  (no mapping pass in the script)"
+        )
+    if result.equivalence is not None:
+        print(f"equivalence check: {result.equivalence.status}")
+    total = sum(seconds for _, seconds in result.pass_runtimes) or 1.0
+    print("per-pass runtime:")
+    for name, seconds in result.pass_runtimes:
+        print(f"  {name:12s} {seconds:8.2f} s ({100 * seconds / total:5.1f}%)")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"report written to {args.json}")
+    return 0
+
+
+def cmd_scripts(_: argparse.Namespace) -> int:
+    from repro.opt.scripts import available_scripts
+    from repro.pipeline import pass_table
+
+    print("registered pipeline passes (emorphic pipeline --script \"...\"):")
+    for spec in pass_table():
+        aliases = f"  (alias: {', '.join(spec.aliases)})" if spec.aliases else ""
+        print(f"  {spec.signature()}")
+        print(f"      [{spec.kind}] {spec.summary}{aliases}")
+    print()
+    print("named optimization scripts (repro.opt.scripts.run_script):")
+    for name in available_scripts():
+        print(f"  {name}")
+    return 0
+
+
+# --------------------------------------------------------------------------
 # Campaign orchestration (batch / sweep / cache).
 
 
@@ -176,27 +267,36 @@ def _campaign_base_config(args: argparse.Namespace) -> EmorphicConfig:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    from repro.orchestrate import make_job, run_campaign
+    from repro.orchestrate import make_job, make_pipeline_job, run_campaign
     from repro.orchestrate.report import render_table2, table2_summary
 
-    flows = [flow.strip() for flow in args.flows.split(",") if flow.strip()]
-    unknown = [flow for flow in flows if flow not in FLOW_VARIANTS]
-    if unknown:
-        raise SystemExit(f"unknown flows: {', '.join(unknown)} (choose from {', '.join(FLOW_VARIANTS)})")
-
-    base_emorphic = _campaign_base_config(args)
-    baseline_config = base_emorphic.baseline
     jobs = []
-    for name in _campaign_circuits(args):
-        for flow in flows:
-            if flow == "baseline":
-                jobs.append(make_job(name, "baseline", config=baseline_config, preset=args.preset))
-            else:
-                config = EmorphicConfig.from_dict(base_emorphic.to_dict())
-                config.use_ml_model = flow == "emorphic_ml"
-                jobs.append(
-                    make_job(name, "emorphic", config=config, preset=args.preset, tag=flow)
-                )
+    if args.script:
+        if args.flows != "baseline,emorphic":  # explicitly set alongside --script
+            raise SystemExit("batch error: --script replaces the named flows; drop --flows")
+        pipeline = _build_pipeline(args.script)
+        for name in _campaign_circuits(args):
+            jobs.append(make_pipeline_job(name, pipeline, preset=args.preset, tag="pipeline"))
+    else:
+        flows = [flow.strip() for flow in args.flows.split(",") if flow.strip()]
+        unknown = [flow for flow in flows if flow not in FLOW_VARIANTS]
+        if unknown:
+            raise SystemExit(
+                f"unknown flows: {', '.join(unknown)} (choose from {', '.join(FLOW_VARIANTS)})"
+            )
+
+        base_emorphic = _campaign_base_config(args)
+        baseline_config = base_emorphic.baseline
+        for name in _campaign_circuits(args):
+            for flow in flows:
+                if flow == "baseline":
+                    jobs.append(make_job(name, "baseline", config=baseline_config, preset=args.preset))
+                else:
+                    config = EmorphicConfig.from_dict(base_emorphic.to_dict())
+                    config.use_ml_model = flow == "emorphic_ml"
+                    jobs.append(
+                        make_job(name, "emorphic", config=config, preset=args.preset, tag=flow)
+                    )
 
     report = run_campaign(
         jobs,
@@ -219,15 +319,9 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _coerce(text: str) -> object:
-    lowered = text.lower()
-    if lowered in ("true", "false"):
-        return lowered == "true"
-    for cast in (int, float):
-        try:
-            return cast(text)
-        except ValueError:
-            continue
-    return text
+    from repro.pipeline.values import coerce_value
+
+    return coerce_value(text)
 
 
 def _parse_grid(params: Sequence[str]) -> Dict[str, List[object]]:
@@ -244,9 +338,34 @@ def _parse_grid(params: Sequence[str]) -> Dict[str, List[object]]:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.orchestrate import run_sweep
+    from repro.orchestrate import run_pipeline_sweep, run_sweep
     from repro.orchestrate.report import render_frontier
     from repro.orchestrate.sweep import apply_overrides
+
+    if args.script:
+        if args.param:
+            raise SystemExit("sweep error: --script sweeps flow shapes; drop --param")
+        # Validate every script before launching any jobs.
+        scripts = [_build_pipeline(script) for script in args.script]
+        report = run_pipeline_sweep(
+            _campaign_circuits(args),
+            scripts,
+            preset=args.preset,
+            store=args.store,
+            max_workers=args.jobs,
+            job_timeout=args.timeout,
+            use_cache=not args.no_cache,
+            progress=True,
+        )
+        frontier = report.frontier()
+        if frontier:
+            print()
+            print(render_frontier(frontier, title=f"Pipeline-shape frontier ({len(report.points)} shapes)"))
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(report.to_dict(), handle, indent=2)
+            print(f"report written to {args.json}")
+        return 0 if report.campaign.ok else 1
 
     grid = _parse_grid(args.param or [])
     base_config = _campaign_base_config(args)
@@ -329,6 +448,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_emorphic_args(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
+    p_pipe = sub.add_parser("pipeline", help="run an arbitrary scripted pass pipeline")
+    _add_circuit_args(p_pipe)
+    p_pipe.add_argument(
+        "--script",
+        required=True,
+        help='ABC-style pass script, e.g. "st; sopb; dag2eg; saturate(iters=4); extract(sa); map; cec"',
+    )
+    p_pipe.add_argument("--verbose", action="store_true", help="print AIG stats after every pass")
+    p_pipe.add_argument("--json", default=None, help="write the result summary to this JSON file")
+    p_pipe.set_defaults(func=cmd_pipeline)
+
+    p_scripts = sub.add_parser(
+        "scripts", help="list registered pipeline passes and named optimization scripts"
+    )
+    p_scripts.set_defaults(func=cmd_scripts)
+
     p_batch = sub.add_parser(
         "batch", help="run a campaign of circuits x flows process-parallel with caching"
     )
@@ -337,16 +472,31 @@ def build_parser() -> argparse.ArgumentParser:
         default="baseline,emorphic",
         help=f"comma-separated flow variants ({', '.join(FLOW_VARIANTS)})",
     )
+    p_batch.add_argument(
+        "--script",
+        default=None,
+        help="run this scripted pipeline instead of the named flows "
+        "(the canonical pipeline spec participates in the job hash/cache)",
+    )
     _add_campaign_args(p_batch)
     p_batch.set_defaults(func=cmd_batch)
 
-    p_sweep = sub.add_parser("sweep", help="design-space exploration over config grids")
+    p_sweep = sub.add_parser(
+        "sweep", help="design-space exploration over config grids or flow shapes"
+    )
     p_sweep.add_argument(
         "--param",
         action="append",
         metavar="NAME=V1,V2,...",
         help="grid dimension over an EmorphicConfig field (dotted baseline.* reaches the "
         "nested baseline config); repeatable",
+    )
+    p_sweep.add_argument(
+        "--script",
+        action="append",
+        metavar="SCRIPT",
+        help="a whole pipeline shape as one grid point; repeatable (mutually "
+        "exclusive with --param)",
     )
     _add_campaign_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)

@@ -1,12 +1,25 @@
-"""End-to-end synthesis flows: the delay-oriented baseline and E-morphic."""
+"""End-to-end synthesis flows: the delay-oriented baseline and E-morphic.
 
-from repro.flows.baseline import BaselineResult, run_baseline_flow
-from repro.flows.emorphic import EmorphicConfig, EmorphicResult, run_emorphic_flow
+Both flows are thin canonical pipelines over :mod:`repro.pipeline`;
+``baseline_pipeline``/``emorphic_pipeline`` expose the recipes themselves as
+first-class, scriptable :class:`~repro.pipeline.Pipeline` objects.
+"""
+
+from repro.flows.baseline import BaselineConfig, BaselineResult, baseline_pipeline, run_baseline_flow
+from repro.flows.emorphic import (
+    EmorphicConfig,
+    EmorphicResult,
+    emorphic_pipeline,
+    run_emorphic_flow,
+)
 
 __all__ = [
-    "run_baseline_flow",
+    "BaselineConfig",
     "BaselineResult",
-    "run_emorphic_flow",
     "EmorphicConfig",
     "EmorphicResult",
+    "baseline_pipeline",
+    "emorphic_pipeline",
+    "run_baseline_flow",
+    "run_emorphic_flow",
 ]

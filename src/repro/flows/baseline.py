@@ -3,20 +3,26 @@
 ABC recipe: ``(st; if -g -K 6 -C 8)`` repeated, followed by ``(st; dch; map)``
 rounds — SOP balancing for delay, choice computation, and priority-cut
 mapping.  This is the "SOP Balancing Baseline" column of Table II.
+
+The flow is a thin canonical pipeline over :mod:`repro.pipeline`: the steps
+are registry passes, per-phase runtimes are derived from the per-pass
+wall-clock ledger, and :func:`baseline_pipeline` exposes the recipe itself so
+campaigns can script variations of it.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, fields
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.aig.graph import Aig
 from repro.aig.levels import logic_depth
-from repro.mapping.cut_mapping import MappingResult, map_aig
-from repro.mapping.library import Library, asap7_like_library
-from repro.opt.dch import compute_choices
-from repro.opt.sop_balance import sop_balance
+from repro.mapping.cut_mapping import MappingResult
+from repro.mapping.library import Library
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.pipeline import Pipeline
 
 
 @dataclass
@@ -55,6 +61,7 @@ class BaselineResult:
     levels: int
     runtime: float
     phase_runtimes: Dict[str, float] = field(default_factory=dict)
+    pass_runtimes: List[Tuple[str, float]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable QoR summary (the AIG itself is stored as AIGER text)."""
@@ -66,7 +73,43 @@ class BaselineResult:
             "runtime": self.runtime,
             "num_gates": self.mapping.num_gates,
             "phase_runtimes": dict(self.phase_runtimes),
+            "pass_runtimes": [[name, seconds] for name, seconds in self.pass_runtimes],
         }
+
+
+def baseline_pipeline(config: Optional[BaselineConfig] = None) -> "Pipeline":
+    """The canonical baseline recipe as a first-class pipeline.
+
+    Phase tags reproduce the historical two-bucket breakdown
+    (``sop_balance`` / ``dch_map``).
+    """
+    from repro.pipeline import Pipeline, Step
+
+    config = config or BaselineConfig()
+    steps = [Step.make("strash", phase="sop_balance")]
+    for _ in range(config.sop_rounds):
+        steps.append(Step.make("strash", phase="sop_balance"))
+        steps.append(
+            Step.make(
+                "sop_balance",
+                {"k": config.k, "cut_limit": config.cut_limit},
+                phase="sop_balance",
+            )
+        )
+    for _ in range(config.map_rounds):
+        steps.append(Step.make("strash", phase="dch_map"))
+        steps.append(
+            Step.make(
+                "map",
+                {
+                    "use_choices": config.use_choices,
+                    "choice_max_pairs": config.choice_max_pairs,
+                    "choice_sat_budget": config.choice_sat_budget,
+                },
+                phase="dch_map",
+            )
+        )
+    return Pipeline(steps)
 
 
 def run_baseline_flow(
@@ -76,40 +119,17 @@ def run_baseline_flow(
 ) -> BaselineResult:
     """Run ``(st; if -g -K k)^sop_rounds  (st; dch; map)^map_rounds``."""
     config = config or BaselineConfig()
-    library = library or asap7_like_library()
     start = time.perf_counter()
-    phases: Dict[str, float] = {}
-
-    work = aig.strash()
-    t0 = time.perf_counter()
-    for _ in range(config.sop_rounds):
-        work = work.strash()
-        work = sop_balance(work, k=config.k, cut_limit=config.cut_limit)
-    phases["sop_balance"] = time.perf_counter() - t0
-
-    mapping: Optional[MappingResult] = None
-    t0 = time.perf_counter()
-    for _ in range(config.map_rounds):
-        work = work.strash()
-        if config.use_choices:
-            choice = compute_choices(
-                work,
-                max_pairs=config.choice_max_pairs,
-                conflict_budget=config.choice_sat_budget,
-            )
-            mapping = map_aig(choice.aig, library, choices=choice.classes)
-        else:
-            mapping = map_aig(work, library)
-    phases["dch_map"] = time.perf_counter() - t0
-
-    assert mapping is not None
+    ctx = baseline_pipeline(config).run(aig, library=library)
     runtime = time.perf_counter() - start
+    assert ctx.mapping is not None, "the baseline recipe always maps"
     return BaselineResult(
-        aig=work,
-        mapping=mapping,
-        area=mapping.area,
-        delay=mapping.delay,
-        levels=logic_depth(work),
+        aig=ctx.aig,
+        mapping=ctx.mapping,
+        area=ctx.mapping.area,
+        delay=ctx.mapping.delay,
+        levels=logic_depth(ctx.aig),
         runtime=runtime,
-        phase_runtimes=phases,
+        phase_runtimes=ctx.phase_runtimes(),
+        pass_runtimes=ctx.pass_runtimes(),
     )

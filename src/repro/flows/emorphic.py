@@ -12,33 +12,30 @@ Pipeline (Fig. 5 of the paper):
    (runtime-prioritized) evaluating candidates;
 5. the best extracted structure goes through the final ``(st; dch; map)``
    round; the result is equivalence-checked against the input.
+
+The flow is a thin canonical pipeline over :mod:`repro.pipeline`:
+:func:`emorphic_pipeline` renders the Fig. 5 sequence as registry passes with
+the Fig. 9 phase tags, and ``runtime_breakdown()`` is derived from the
+per-pass wall-clock ledger instead of hand-rolled phase bookkeeping.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, fields
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.aig.graph import Aig
 from repro.aig.levels import logic_depth
-from repro.conversion.dag2eg import aig_to_egraph
-from repro.conversion.eg2dag import extraction_to_aig
-from repro.costmodel.abc_cost import MappingCostModel
 from repro.costmodel.hoga import HogaModel
-from repro.egraph.rules import boolean_rules
-from repro.egraph.runner import Runner, RunnerLimits, RunnerReport
-from repro.extraction.cost import DepthCost, NodeCountCost
-from repro.extraction.parallel import ParallelSAConfig, parallel_sa_extract
-from repro.extraction.sa import AnnealingSchedule
-from repro.flows.baseline import BaselineConfig, BaselineResult, run_baseline_flow
-from repro.mapping.cut_mapping import MappingResult, map_aig
-from repro.mapping.library import Library, asap7_like_library
-from repro.opt.balance import balance as balance_pass
-from repro.opt.dch import compute_choices
-from repro.opt.rewrite import rewrite as rewrite_pass
-from repro.opt.sop_balance import sop_balance
-from repro.verify.cec import CecResult, check_equivalence
+from repro.egraph.runner import RunnerReport
+from repro.flows.baseline import BaselineConfig, BaselineResult, run_baseline_flow  # noqa: F401 (re-export)
+from repro.mapping.cut_mapping import MappingResult
+from repro.mapping.library import Library
+from repro.verify.cec import CecResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.pipeline import Pipeline
 
 
 @dataclass
@@ -131,6 +128,7 @@ class EmorphicResult:
     num_candidates: int = 0
     baseline_delay_before_resynthesis: float = 0.0
     equivalence: Optional[CecResult] = None
+    pass_runtimes: List[Tuple[str, float]] = field(default_factory=list)
 
     def runtime_breakdown(self) -> Dict[str, float]:
         """The three components plotted in Fig. 9."""
@@ -148,6 +146,7 @@ class EmorphicResult:
             "num_candidates": self.num_candidates,
             "baseline_delay_before_resynthesis": self.baseline_delay_before_resynthesis,
             "phase_runtimes": dict(self.phase_runtimes),
+            "pass_runtimes": [[name, seconds] for name, seconds in self.pass_runtimes],
             "equivalence": None if self.equivalence is None else self.equivalence.status,
         }
 
@@ -165,6 +164,87 @@ def breakdown_from_phases(phases: Dict[str, float]) -> Dict[str, float]:
     }
 
 
+def emorphic_pipeline(config: Optional[EmorphicConfig] = None) -> "Pipeline":
+    """The canonical Fig. 5 sequence as a first-class pipeline.
+
+    Phase tags reproduce the historical breakdown (``tech_independent`` /
+    ``conversion`` / ``rewriting`` / ``extraction`` / ``final_map`` /
+    ``verification``), which :func:`breakdown_from_phases` folds into the
+    three Fig. 9 buckets.
+    """
+    from repro.pipeline import Pipeline, Step
+
+    config = config or EmorphicConfig()
+    steps = [Step.make("strash", phase="tech_independent")]
+    for _ in range(config.baseline.sop_rounds):
+        steps.append(Step.make("strash", phase="tech_independent"))
+        steps.append(
+            Step.make(
+                "sop_balance",
+                {"k": config.baseline.k, "cut_limit": config.baseline.cut_limit},
+                phase="tech_independent",
+            )
+        )
+    steps.append(Step.make("strash", phase="tech_independent"))
+    steps.append(Step.make("premap", phase="tech_independent"))
+    steps.append(Step.make("dag2eg", phase="conversion"))
+    steps.append(
+        Step.make(
+            "saturate",
+            {
+                "iters": config.rewrite_iterations,
+                "max_nodes": config.max_egraph_nodes,
+                "time_limit": config.rewrite_time_limit,
+            },
+            phase="rewriting",
+        )
+    )
+    steps.append(
+        Step.make(
+            "extract",
+            {
+                "method": "sa",
+                # The runtime-prioritized (ML) mode runs two extra chains.
+                "threads": config.num_threads + (2 if config.use_ml_model else 0),
+                "iters": config.sa_iterations,
+                "moves": config.moves_per_iteration,
+                "p_random": config.p_random,
+                "temperature": config.initial_temperature,
+                "seed": config.seed,
+                "cost": config.extraction_cost if config.extraction_cost == "depth" else "nodes",
+                "pruned": config.pruned,
+                "use_ml": config.use_ml_model,
+            },
+            phase="extraction",
+        )
+    )
+    steps.append(
+        Step.make(
+            "map",
+            {
+                "use_choices": config.baseline.use_choices,
+                "choice_max_pairs": config.baseline.choice_max_pairs,
+                "choice_sat_budget": config.baseline.choice_sat_budget,
+                "cleanup": True,
+                "keep_premap": True,
+            },
+            phase="final_map",
+        )
+    )
+    if config.verify:
+        steps.append(
+            Step.make(
+                "cec",
+                {
+                    "sim_words": config.verify_sim_words,
+                    "conflict_budget": config.verify_conflict_budget,
+                },
+                phase="verification",
+            )
+        )
+    return Pipeline(steps)
+
+
 def run_emorphic_flow(
     aig: Aig,
     config: Optional[EmorphicConfig] = None,
@@ -172,133 +252,25 @@ def run_emorphic_flow(
 ) -> EmorphicResult:
     """Run the full E-morphic flow on ``aig``."""
     config = config or EmorphicConfig()
-    library = library or asap7_like_library()
-    original = aig.strash()
     start = time.perf_counter()
-    phases: Dict[str, float] = {}
-
-    # Phase 1: technology-independent optimization (SOP balancing rounds and
-    # all but the last dch/map round of the baseline flow).
-    t0 = time.perf_counter()
-    work = original
-    for _ in range(config.baseline.sop_rounds):
-        work = work.strash()
-        work = sop_balance(work, k=config.baseline.k, cut_limit=config.baseline.cut_limit)
-    work = work.strash()
-    pre_mapping = map_aig(work, library)
-    phases["tech_independent"] = time.perf_counter() - t0
-
-    # Phase 2: direct DAG-to-DAG conversion.
-    t0 = time.perf_counter()
-    circuit = aig_to_egraph(work)
-    phases["conversion"] = time.perf_counter() - t0
-
-    # Phase 3: equality saturation with few iterations.
-    t0 = time.perf_counter()
-    runner = Runner(
-        circuit.egraph,
-        boolean_rules(),
-        RunnerLimits(
-            max_iterations=config.rewrite_iterations,
-            max_nodes=config.max_egraph_nodes,
-            time_limit=config.rewrite_time_limit,
-        ),
+    ctx = emorphic_pipeline(config).run(
+        aig,
+        library=library,
+        ml_model=config.ml_model if config.use_ml_model else None,
     )
-    rewrite_report = runner.run()
-    phases["rewriting"] = time.perf_counter() - t0
-
-    # Phase 4: parallel SA extraction with the selected cost model.
-    t0 = time.perf_counter()
-    guiding_cost = DepthCost() if config.extraction_cost == "depth" else NodeCountCost()
-    qor_model = MappingCostModel(library=library)
-
-    if config.use_ml_model and config.ml_model is not None:
-        model = config.ml_model
-
-        def qor_evaluator(extraction):
-            candidate = extraction_to_aig(circuit, extraction, name="candidate")
-            return model.predict_aig(candidate)
-
-    else:
-
-        def qor_evaluator(extraction):
-            candidate = extraction_to_aig(circuit, extraction, name="candidate")
-            return qor_model.cost_of_aig(candidate)
-
-    sa_config = ParallelSAConfig(
-        num_threads=config.num_threads if not config.use_ml_model else config.num_threads + 2,
-        moves_per_iteration=config.moves_per_iteration,
-        p_random=config.p_random,
-        schedule=AnnealingSchedule(
-            initial_temperature=config.initial_temperature, num_iterations=config.sa_iterations
-        ),
-        seed=config.seed,
-        pruned=config.pruned,
-    )
-    roots = list(circuit.output_classes)
-    results = parallel_sa_extract(
-        circuit.egraph,
-        roots,
-        cost=guiding_cost,
-        qor_evaluator=qor_evaluator,
-        config=sa_config,
-        seed_solution=circuit.original_extraction(),
-    )
-    phases["extraction"] = time.perf_counter() - t0
-
-    # Map every candidate with the accurate model and keep the best (the
-    # paper maps all parallel-generated solutions and picks the best QoR).
-    t0 = time.perf_counter()
-    best_mapping: Optional[MappingResult] = None
-    best_aig: Optional[Aig] = None
-    for result in results:
-        candidate = extraction_to_aig(circuit, result.extraction, name=aig.name)
-        candidate = candidate.strash()
-        # Light technology-independent cleanup: extraction from a saturated
-        # e-graph can leave duplicated structure behind; balancing plus one
-        # rewriting pass recovers it without disturbing the depth profile.
-        candidate = rewrite_pass(balance_pass(candidate))
-        if config.baseline.use_choices:
-            choice = compute_choices(
-                candidate,
-                max_pairs=config.baseline.choice_max_pairs,
-                conflict_budget=config.baseline.choice_sat_budget,
-            )
-            mapping = map_aig(choice.aig, library, choices=choice.classes)
-        else:
-            mapping = map_aig(candidate, library)
-        if best_mapping is None or (mapping.delay, mapping.area) < (best_mapping.delay, best_mapping.area):
-            best_mapping = mapping
-            best_aig = candidate
-    # Keep the pre-resynthesis mapping if it happens to still be the best.
-    if best_mapping is None or (pre_mapping.delay, pre_mapping.area) < (best_mapping.delay, best_mapping.area):
-        best_mapping = pre_mapping
-        best_aig = work
-    phases["final_map"] = time.perf_counter() - t0
-
-    # Phase 5: equivalence checking (ABC `cec`).
-    equivalence: Optional[CecResult] = None
-    if config.verify:
-        t0 = time.perf_counter()
-        equivalence = check_equivalence(
-            original,
-            best_aig,
-            sim_words=config.verify_sim_words,
-            conflict_budget=config.verify_conflict_budget,
-        )
-        phases["verification"] = time.perf_counter() - t0
-
     runtime = time.perf_counter() - start
+    assert ctx.mapping is not None and ctx.pre_mapping is not None
     return EmorphicResult(
-        aig=best_aig,
-        mapping=best_mapping,
-        area=best_mapping.area,
-        delay=best_mapping.delay,
-        levels=logic_depth(best_aig),
+        aig=ctx.aig,
+        mapping=ctx.mapping,
+        area=ctx.mapping.area,
+        delay=ctx.mapping.delay,
+        levels=logic_depth(ctx.aig),
         runtime=runtime,
-        phase_runtimes=phases,
-        rewrite_report=rewrite_report,
-        num_candidates=len(results),
-        baseline_delay_before_resynthesis=pre_mapping.delay,
-        equivalence=equivalence,
+        phase_runtimes=ctx.phase_runtimes(),
+        rewrite_report=ctx.rewrite_report,
+        num_candidates=int(ctx.metrics.get("num_candidates", 0)),
+        baseline_delay_before_resynthesis=ctx.pre_mapping.delay,
+        equivalence=ctx.equivalence,
+        pass_runtimes=ctx.pass_runtimes(),
     )

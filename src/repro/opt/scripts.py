@@ -40,10 +40,29 @@ _NAMED_SCRIPTS: Dict[str, Callable[[Aig], Aig]] = {
 }
 
 
+class UnknownScriptError(KeyError):
+    """A named script does not exist; carries the available names.
+
+    Subclasses :class:`KeyError` for backward compatibility, but renders as
+    its message (``KeyError.__str__`` would repr-quote it).
+    """
+
+    def __init__(self, name: str, available: List[str]):
+        super().__init__(name)
+        self.name = name
+        self.available = list(available)
+
+    def __str__(self) -> str:
+        return f"unknown script {self.name!r}; available: {', '.join(self.available)}"
+
+
 def run_script(aig: Aig, name: str) -> Aig:
-    """Run a named optimization script."""
+    """Run a named optimization script.
+
+    Raises :class:`UnknownScriptError` (a ``KeyError``) for unknown names.
+    """
     if name not in _NAMED_SCRIPTS:
-        raise KeyError(f"unknown script {name!r}; available: {sorted(_NAMED_SCRIPTS)}")
+        raise UnknownScriptError(name, available_scripts())
     return _NAMED_SCRIPTS[name](aig)
 
 

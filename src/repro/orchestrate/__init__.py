@@ -6,15 +6,23 @@ campaigns (the shape of every result table in the paper):
 * :mod:`repro.orchestrate.jobs` — content-hashed job specifications;
 * :mod:`repro.orchestrate.store` — persistent content-addressed results;
 * :mod:`repro.orchestrate.executor` — process-parallel campaign runner;
-* :mod:`repro.orchestrate.sweep` — design-space grids and frontiers;
+* :mod:`repro.orchestrate.sweep` — design-space grids, pipeline-shape
+  sweeps, and frontiers;
 * :mod:`repro.orchestrate.report` — Table-II / Fig-9 style aggregation.
 """
 
 from repro.orchestrate.executor import CampaignReport, JobOutcome, run_campaign
-from repro.orchestrate.jobs import CircuitRef, JobSpec, make_job, run_job
+from repro.orchestrate.jobs import CircuitRef, JobSpec, make_job, make_pipeline_job, run_job
 from repro.orchestrate.report import fig9_summary, table2_summary
 from repro.orchestrate.store import ResultStore, default_store_path
-from repro.orchestrate.sweep import SweepReport, expand_grid, run_sweep, sweep_jobs
+from repro.orchestrate.sweep import (
+    SweepReport,
+    expand_grid,
+    pipeline_sweep_jobs,
+    run_pipeline_sweep,
+    run_sweep,
+    sweep_jobs,
+)
 
 __all__ = [
     "CampaignReport",
@@ -27,8 +35,11 @@ __all__ = [
     "expand_grid",
     "fig9_summary",
     "make_job",
+    "make_pipeline_job",
+    "pipeline_sweep_jobs",
     "run_campaign",
     "run_job",
+    "run_pipeline_sweep",
     "run_sweep",
     "sweep_jobs",
     "table2_summary",

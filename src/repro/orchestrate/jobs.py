@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 from repro.aig.graph import Aig
 from repro.aig.io_aiger import aag_to_string, read_aag
@@ -28,11 +28,17 @@ from repro.benchgen import epfl
 from repro.flows.baseline import BaselineConfig, run_baseline_flow
 from repro.flows.emorphic import EmorphicConfig, run_emorphic_flow
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.pipeline import Pipeline
+
 #: Bump when the record layout or hash recipe changes: old store entries
 #: become unreachable instead of being misread.
-SCHEMA_VERSION = 1
+#: 2: flows run as pass pipelines — phase_runtimes are derived from per-pass
+#:    timings (candidate AIG reconstruction now counts toward extraction,
+#:    not final_map), and results carry pass_runtimes.
+SCHEMA_VERSION = 2
 
-FLOWS = ("baseline", "emorphic")
+FLOWS = ("baseline", "emorphic", "pipeline")
 
 
 @lru_cache(maxsize=1)
@@ -108,10 +114,16 @@ class CircuitRef:
 
 @dataclass
 class JobSpec:
-    """One circuit through one flow under one configuration."""
+    """One circuit through one flow under one configuration.
+
+    ``flow="pipeline"`` jobs carry a canonical pipeline spec
+    (:meth:`repro.pipeline.Pipeline.to_spec`) as their config, so arbitrary
+    flow *shapes* — not just config values — participate in the job hash and
+    the result cache.
+    """
 
     circuit: CircuitRef
-    flow: str  # "baseline" or "emorphic"
+    flow: str  # "baseline", "emorphic", or "pipeline"
     config: Dict[str, object] = field(default_factory=dict)
     #: Free-form tag distinguishing variants of the same flow in reports
     #: (e.g. "emorphic_ml"); not part of the job hash.
@@ -168,10 +180,34 @@ def make_job(
     if isinstance(circuit, str):
         circuit = CircuitRef.make(circuit, preset=preset)
     if config is None:
+        if flow == "pipeline":
+            raise ValueError("pipeline jobs need a script/spec; use make_pipeline_job")
         config = BaselineConfig() if flow == "baseline" else EmorphicConfig()
     if isinstance(config, (BaselineConfig, EmorphicConfig)):
         config = config.to_dict()
     return JobSpec(circuit=circuit, flow=flow, config=dict(config), tag=tag)
+
+
+def make_pipeline_job(
+    circuit: Union[str, CircuitRef],
+    pipeline: Union[str, Dict[str, object], "Pipeline"],
+    preset: str = "bench",
+    tag: Optional[str] = None,
+) -> JobSpec:
+    """A job running an arbitrary scripted pipeline on one circuit.
+
+    ``pipeline`` may be script text, a spec dict, or a
+    :class:`~repro.pipeline.Pipeline`; all are normalized to the canonical
+    spec, so equivalent spellings of the same flow shape hash — and cache —
+    identically.
+    """
+    from repro.pipeline import Pipeline
+
+    if isinstance(circuit, str):
+        circuit = CircuitRef.make(circuit, preset=preset)
+    if not isinstance(pipeline, Pipeline):
+        pipeline = Pipeline.from_spec(pipeline)
+    return JobSpec(circuit=circuit, flow="pipeline", config=pipeline.to_spec(), tag=tag)
 
 
 # The default ML model is trained at most once per worker process and reused
@@ -199,6 +235,10 @@ def run_job(spec: JobSpec, key: Optional[str] = None) -> Dict[str, object]:
     t0 = time.perf_counter()
     if spec.flow == "baseline":
         result = run_baseline_flow(aig, BaselineConfig.from_dict(spec.config))
+    elif spec.flow == "pipeline":
+        from repro.pipeline import Pipeline
+
+        result = Pipeline.from_spec(spec.config).run_flow(aig)
     else:
         config = EmorphicConfig.from_dict(spec.config)
         if config.use_ml_model and config.ml_model is None:

@@ -1,10 +1,16 @@
-"""Design-space exploration over E-morphic configuration grids.
+"""Design-space exploration over E-morphic configuration grids and flow shapes.
 
-A sweep takes a base :class:`EmorphicConfig`, a cartesian grid of field
-overrides (dotted keys reach into the nested baseline config, e.g.
+A config sweep takes a base :class:`EmorphicConfig`, a cartesian grid of
+field overrides (dotted keys reach into the nested baseline config, e.g.
 ``baseline.use_choices``), and a set of circuits; it materializes one job
 per (circuit, grid point), runs the campaign through the process pool, and
 reduces the outcomes to a best-per-circuit frontier.
+
+A *pipeline* sweep explores flow shapes instead of config values: each grid
+point is a whole scripted pipeline
+(:func:`run_pipeline_sweep`), so campaigns can compare, say, a greedy
+extraction recipe against the SA one, or an extra ``resyn2`` round — all
+served by the same content-addressed result cache.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.flows.emorphic import EmorphicConfig
 from repro.orchestrate.executor import CampaignReport, JobOutcome, ProgressFn, run_campaign
-from repro.orchestrate.jobs import CircuitRef, JobSpec
+from repro.orchestrate.jobs import CircuitRef, JobSpec, make_pipeline_job
 from repro.orchestrate.store import ResultStore
 
 
@@ -115,6 +121,54 @@ class SweepReport:
             "frontier": self.frontier(),
             "campaign": self.campaign.to_dict(),
         }
+
+
+def pipeline_sweep_jobs(
+    circuits: Sequence[Union[str, CircuitRef]],
+    scripts: Sequence[str],
+    preset: str = "bench",
+) -> Tuple[List[JobSpec], List[Dict[str, object]]]:
+    """(jobs, grid points): one pipeline job per circuit per flow shape.
+
+    Every grid point is ``{"script": canonical_text}``, so the frontier
+    reports which *shape* won per circuit.
+    """
+    from repro.pipeline import Pipeline
+
+    pipelines = [
+        pipeline if isinstance(pipeline, Pipeline) else Pipeline.from_script(str(pipeline))
+        for pipeline in scripts
+    ]
+    points = [{"script": pipeline.to_script()} for pipeline in pipelines]
+    jobs: List[JobSpec] = []
+    for point_index, pipeline in enumerate(pipelines):
+        for circuit in circuits:
+            ref = CircuitRef.make(circuit, preset=preset) if isinstance(circuit, str) else circuit
+            jobs.append(make_pipeline_job(ref, pipeline, tag=f"sweep[{point_index}]"))
+    return jobs, points
+
+
+def run_pipeline_sweep(
+    circuits: Sequence[Union[str, CircuitRef]],
+    scripts: Sequence[str],
+    preset: str = "bench",
+    store: Union[None, str, ResultStore] = None,
+    max_workers: Optional[int] = None,
+    job_timeout: Optional[float] = None,
+    use_cache: bool = True,
+    progress: Union[None, bool, ProgressFn] = None,
+) -> "SweepReport":
+    """Explore flow *shapes*: one scripted pipeline per grid point."""
+    jobs, points = pipeline_sweep_jobs(circuits, scripts, preset=preset)
+    campaign = run_campaign(
+        jobs,
+        store=store,
+        max_workers=max_workers,
+        job_timeout=job_timeout,
+        use_cache=use_cache,
+        progress=progress,
+    )
+    return SweepReport(campaign=campaign, points=points)
 
 
 def run_sweep(

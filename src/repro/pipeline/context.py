@@ -1,0 +1,109 @@
+"""The mutable state a pass pipeline threads through its passes.
+
+A :class:`FlowContext` carries everything a pass may read or write: the
+working AIG, the (strashed) original for equivalence checking, the target
+library, the circuit e-graph once ``dag2eg`` has run, extraction candidates,
+mapping results, free-form metrics, and the per-pass wall-clock ledger that
+``runtime_breakdown()`` and Fig.-9-style reports are derived from.
+
+Passes mutate the context in place; the pipeline owns timing and event
+hooks, so pass implementations stay plain functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.aig.graph import Aig
+from repro.egraph.runner import RunnerReport
+from repro.mapping.cut_mapping import MappingResult
+from repro.mapping.library import Library, asap7_like_library
+from repro.verify.cec import CecResult
+
+
+class PipelineError(ValueError):
+    """A pipeline could not be built or run (unknown pass, bad parameter,
+    missing prerequisite state).  The message is always user-presentable."""
+
+
+@dataclass
+class PassTiming:
+    """Wall-clock of one executed pass."""
+
+    name: str  # canonical pass name
+    phase: str  # phase bucket (defaults to the pass name)
+    seconds: float
+
+    def to_list(self) -> List[object]:
+        return [self.name, self.phase, self.seconds]
+
+
+#: ``on_pass_start(step_label, context)`` / ``on_pass_end(step_label, context, seconds)``.
+PassStartHook = Callable[[str, "FlowContext"], None]
+PassEndHook = Callable[[str, "FlowContext", float], None]
+
+
+@dataclass
+class FlowContext:
+    """Everything a pass can see: netlist state, metrics, and timings."""
+
+    aig: Aig
+    original: Aig
+    library: Library
+    #: The circuit e-graph; set by ``dag2eg``, invalidated by AIG transforms.
+    circuit: Optional[object] = None
+    #: Candidate AIGs produced by ``extract`` (best-first); consumed by ``map``
+    #: and invalidated by any AIG transform.
+    candidates: List[Aig] = field(default_factory=list)
+    pre_mapping: Optional[MappingResult] = None
+    pre_aig: Optional[Aig] = None
+    mapping: Optional[MappingResult] = None
+    rewrite_report: Optional[RunnerReport] = None
+    equivalence: Optional[CecResult] = None
+    #: Optional learned cost model consumed by ``extract(use_ml=true)``.
+    ml_model: Optional[object] = None
+    metrics: Dict[str, object] = field(default_factory=dict)
+    timings: List[PassTiming] = field(default_factory=list)
+    on_pass_start: Optional[PassStartHook] = None
+    on_pass_end: Optional[PassEndHook] = None
+
+    @classmethod
+    def for_aig(cls, aig: Aig, library: Optional[Library] = None, **kwargs) -> "FlowContext":
+        """A fresh context: the original is the strashed input."""
+        original = aig.strash()
+        return cls(aig=original, original=original, library=library or asap7_like_library(), **kwargs)
+
+    # -- prerequisites ------------------------------------------------------
+
+    def require_egraph(self, pass_name: str):
+        if self.circuit is None:
+            raise PipelineError(
+                f"pass {pass_name!r} needs a circuit e-graph; run 'dag2eg' first "
+                "(AIG transforms invalidate a previously built e-graph)"
+            )
+        return self.circuit
+
+    def invalidate_derived(self) -> None:
+        """Drop e-graph/candidate state after the working AIG changed."""
+        self.circuit = None
+        self.candidates = []
+
+    # -- timing ledger ------------------------------------------------------
+
+    def record_timing(self, name: str, phase: str, seconds: float) -> None:
+        self.timings.append(PassTiming(name=name, phase=phase, seconds=seconds))
+
+    def pass_runtimes(self) -> List[Tuple[str, float]]:
+        """Per-executed-pass ``(name, seconds)`` in execution order."""
+        return [(t.name, t.seconds) for t in self.timings]
+
+    def phase_runtimes(self) -> Dict[str, float]:
+        """Per-pass timings aggregated by phase bucket (insertion-ordered)."""
+        phases: Dict[str, float] = {}
+        for timing in self.timings:
+            phases[timing.phase] = phases.get(timing.phase, 0.0) + timing.seconds
+        return phases
+
+    def total_pass_time(self) -> float:
+        return sum(t.seconds for t in self.timings)

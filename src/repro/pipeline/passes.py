@@ -1,0 +1,368 @@
+"""The pass registry: every transform of the repo behind one uniform signature.
+
+A pass is a plain function ``fn(ctx, **params)`` mutating a
+:class:`~repro.pipeline.context.FlowContext`; :class:`PassSpec` wraps it with
+the metadata the script parser and the ``emorphic scripts`` listing need
+(parameter defaults, positional order, aliases, what state it requires).
+
+Kinds:
+
+* ``transform`` — rewrites ``ctx.aig`` preserving its function (strash,
+  balance, rewrite, refactor, SOP balance, resyn2, cleanup).  Transforms
+  invalidate any previously built e-graph or extraction candidates.
+* ``convert`` — ``dag2eg``, the direct DAG-to-DAG AIG → e-graph conversion.
+* ``egraph`` — ``saturate``, equality saturation on the circuit e-graph.
+* ``extract`` — ``extract``, e-graph → candidate AIGs (SA/greedy/random).
+* ``map`` — ``premap``/``map``, technology mapping (choice-aware).
+* ``verify`` — ``cec``, equivalence check against the pipeline's input.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, List, Tuple
+
+from repro.conversion.dag2eg import aig_to_egraph
+from repro.conversion.eg2dag import extraction_to_aig
+from repro.costmodel.abc_cost import MappingCostModel
+from repro.egraph.rules import boolean_rules
+from repro.egraph.runner import Runner, RunnerLimits
+from repro.extraction.cost import DepthCost, NodeCountCost
+from repro.extraction.greedy import greedy_extract
+from repro.extraction.parallel import ParallelSAConfig, parallel_sa_extract
+from repro.extraction.random_extract import random_extract
+from repro.extraction.sa import AnnealingSchedule
+from repro.mapping.cut_mapping import map_aig
+from repro.opt.balance import balance
+from repro.opt.dch import compute_choices
+from repro.opt.refactor import refactor
+from repro.opt.rewrite import rewrite
+from repro.opt.scripts import delay_opt_script, resyn2_script
+from repro.opt.sop_balance import sop_balance
+from repro.pipeline.context import FlowContext, PipelineError
+from repro.pipeline.values import render_value
+from repro.verify.cec import check_equivalence
+
+EXTRACT_METHODS = ("sa", "greedy", "random")
+
+
+@lru_cache(maxsize=1)
+def _default_ml_model():
+    """Train the default learned cost model at most once per process.
+
+    Backs ``extract(use_ml=true)`` when the context carries no model — the
+    scripted-pipeline analogue of what ``emorphic run --use-ml-model`` and
+    the orchestration workers do for the emorphic flow.
+    """
+    from repro.costmodel.train import default_ml_model
+
+    return default_ml_model()
+
+
+@dataclass(frozen=True)
+class PassSpec:
+    """One registered pass: callable plus script-facing metadata."""
+
+    name: str
+    fn: Callable[..., None]
+    summary: str
+    kind: str = "transform"
+    params: Dict[str, object] = field(default_factory=dict)  # name -> default
+    positional: Tuple[str, ...] = ()  # script positional-argument order
+    aliases: Tuple[str, ...] = ()
+    requires_egraph: bool = False
+
+    def validate_params(self, params: Dict[str, object]) -> Dict[str, object]:
+        """Reject unknown parameter names; returns a plain dict copy."""
+        unknown = set(params) - set(self.params)
+        if unknown:
+            raise PipelineError(
+                f"pass {self.name!r} has no parameter {sorted(unknown)[0]!r}; "
+                f"accepted: {', '.join(sorted(self.params)) or '(none)'}"
+            )
+        return dict(params)
+
+    def run(self, ctx: FlowContext, params: Dict[str, object]) -> None:
+        self.fn(ctx, **{**self.params, **self.validate_params(params)})
+        if self.kind == "transform":
+            ctx.invalidate_derived()
+
+    def signature(self) -> str:
+        """``name(param=default, ...)`` for listings — valid script syntax."""
+        if not self.params:
+            return self.name
+        rendered = ", ".join(f"{k}={render_value(v)}" for k, v in self.params.items())
+        return f"{self.name}({rendered})"
+
+
+_REGISTRY: Dict[str, PassSpec] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_pass(
+    name: str,
+    summary: str,
+    kind: str = "transform",
+    positional: Tuple[str, ...] = (),
+    aliases: Tuple[str, ...] = (),
+    requires_egraph: bool = False,
+):
+    """Decorator: register ``fn(ctx, **params)``; defaults are read off the
+    function signature, so the registry never drifts from the code."""
+
+    def decorate(fn: Callable[..., None]) -> Callable[..., None]:
+        defaults: Dict[str, object] = {}
+        for pname, parameter in list(inspect.signature(fn).parameters.items())[1:]:
+            if parameter.default is inspect.Parameter.empty:
+                raise ValueError(f"pass {name!r}: parameter {pname!r} needs a default")
+            defaults[pname] = parameter.default
+        spec = PassSpec(
+            name=name,
+            fn=fn,
+            summary=summary,
+            kind=kind,
+            params=defaults,
+            positional=positional,
+            aliases=aliases,
+            requires_egraph=requires_egraph,
+        )
+        _REGISTRY[name] = spec
+        for alias in aliases:
+            _ALIASES[alias] = name
+        return fn
+
+    return decorate
+
+
+def resolve_pass(name: str) -> PassSpec:
+    """Canonical :class:`PassSpec` for a name or alias; clean error otherwise."""
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _REGISTRY:
+        raise PipelineError(
+            f"unknown pass {name!r}; available: {', '.join(available_passes())}"
+        )
+    return _REGISTRY[canonical]
+
+
+def available_passes() -> List[str]:
+    """Canonical pass names, listed in registration order."""
+    return list(_REGISTRY)
+
+
+def pass_table() -> List[PassSpec]:
+    return list(_REGISTRY.values())
+
+
+# --------------------------------------------------------------------------
+# Technology-independent AIG transforms.
+
+
+@register_pass("strash", "structural hashing (ABC 'st')", aliases=("st",))
+def _pass_strash(ctx: FlowContext) -> None:
+    ctx.aig = ctx.aig.strash()
+
+
+@register_pass("balance", "AND-tree balancing (ABC 'balance')", aliases=("b",))
+def _pass_balance(ctx: FlowContext) -> None:
+    ctx.aig = balance(ctx.aig)
+
+
+@register_pass("rewrite", "DAG-aware cut rewriting (ABC 'rewrite')", aliases=("rw",))
+def _pass_rewrite(ctx: FlowContext, k: int = 4, cut_limit: int = 8, zero_gain: bool = False) -> None:
+    ctx.aig = rewrite(ctx.aig, k=k, cut_limit=cut_limit, zero_gain=zero_gain)
+
+
+@register_pass("refactor", "cone collapsing + refactoring (ABC 'refactor')", aliases=("rf",))
+def _pass_refactor(ctx: FlowContext, k: int = 6, cut_limit: int = 4, zero_gain: bool = False) -> None:
+    ctx.aig = refactor(ctx.aig, k=k, cut_limit=cut_limit, zero_gain=zero_gain)
+
+
+@register_pass("sop_balance", "delay-oriented SOP balancing (ABC 'if -g')", aliases=("sopb",))
+def _pass_sop_balance(ctx: FlowContext, k: int = 6, cut_limit: int = 8) -> None:
+    ctx.aig = sop_balance(ctx.aig, k=k, cut_limit=cut_limit)
+
+
+@register_pass("resyn2", "balance/rewrite/refactor area script (ABC 'resyn2')")
+def _pass_resyn2(ctx: FlowContext) -> None:
+    ctx.aig = resyn2_script(ctx.aig)
+
+
+@register_pass("delay_opt", "SOP-balancing delay rounds ('(st; if -g -K k)^rounds')")
+def _pass_delay_opt(ctx: FlowContext, rounds: int = 2, k: int = 6, cut_limit: int = 8) -> None:
+    ctx.aig = delay_opt_script(ctx.aig, rounds=rounds, k=k, cut_limit=cut_limit)
+
+
+@register_pass("cleanup", "drop dangling nodes")
+def _pass_cleanup(ctx: FlowContext) -> None:
+    ctx.aig = ctx.aig.cleanup()
+
+
+# --------------------------------------------------------------------------
+# E-graph conversion, saturation, extraction.
+
+
+@register_pass("dag2eg", "direct DAG-to-DAG conversion: AIG -> e-graph", kind="convert")
+def _pass_dag2eg(ctx: FlowContext) -> None:
+    ctx.circuit = aig_to_egraph(ctx.aig)
+    ctx.metrics["egraph_initial_classes"] = ctx.circuit.egraph.num_classes
+    ctx.metrics["egraph_initial_nodes"] = ctx.circuit.egraph.num_nodes
+
+
+@register_pass("saturate", "equality saturation under limits", kind="egraph", requires_egraph=True)
+def _pass_saturate(
+    ctx: FlowContext, iters: int = 5, max_nodes: int = 40_000, time_limit: float = 30.0
+) -> None:
+    circuit = ctx.require_egraph("saturate")
+    runner = Runner(
+        circuit.egraph,
+        boolean_rules(),
+        RunnerLimits(max_iterations=iters, max_nodes=max_nodes, time_limit=time_limit),
+    )
+    ctx.rewrite_report = runner.run()
+    ctx.metrics["saturation_stop_reason"] = ctx.rewrite_report.stop_reason
+    ctx.metrics["egraph_classes"] = circuit.egraph.num_classes
+    ctx.metrics["egraph_nodes"] = circuit.egraph.num_nodes
+
+
+@register_pass(
+    "extract",
+    "choose structures from the e-graph (simulated annealing / greedy / random)",
+    kind="extract",
+    positional=("method",),
+    requires_egraph=True,
+)
+def _pass_extract(
+    ctx: FlowContext,
+    method: str = "sa",
+    threads: int = 4,
+    iters: int = 4,
+    moves: int = 4,
+    p_random: float = 0.1,
+    temperature: float = 2000.0,
+    seed: int = 7,
+    cost: str = "depth",
+    pruned: bool = True,
+    use_ml: bool = False,
+) -> None:
+    circuit = ctx.require_egraph("extract")
+    if method not in EXTRACT_METHODS:
+        raise PipelineError(
+            f"unknown extraction method {method!r}; choose from {', '.join(EXTRACT_METHODS)}"
+        )
+    guiding = DepthCost() if cost == "depth" else NodeCountCost()
+
+    if method == "sa":
+        model = None
+        if use_ml:
+            model = ctx.ml_model if ctx.ml_model is not None else _default_ml_model()
+        ctx.metrics["extraction_evaluator"] = "ml" if model is not None else "mapping"
+        if model is not None:
+
+            def qor_evaluator(extraction):
+                return model.predict_aig(extraction_to_aig(circuit, extraction, name="candidate"))
+
+        else:
+            qor_model = MappingCostModel(library=ctx.library)
+
+            def qor_evaluator(extraction):
+                return qor_model.cost_of_aig(extraction_to_aig(circuit, extraction, name="candidate"))
+
+        sa_config = ParallelSAConfig(
+            num_threads=threads,
+            moves_per_iteration=moves,
+            p_random=p_random,
+            schedule=AnnealingSchedule(initial_temperature=temperature, num_iterations=iters),
+            seed=seed,
+            pruned=pruned,
+        )
+        results = parallel_sa_extract(
+            circuit.egraph,
+            list(circuit.output_classes),
+            cost=guiding,
+            qor_evaluator=qor_evaluator,
+            config=sa_config,
+            seed_solution=circuit.original_extraction(),
+        )
+        extractions = [result.extraction for result in results]
+    elif method == "greedy":
+        extractions = [greedy_extract(circuit.egraph, cost=guiding)]
+    else:  # random
+        extractions = [random_extract(circuit.egraph, seed=seed)]
+
+    name = ctx.aig.name
+    ctx.candidates = [
+        extraction_to_aig(circuit, extraction, name=name).strash() for extraction in extractions
+    ]
+    ctx.aig = ctx.candidates[0]
+    ctx.metrics["num_candidates"] = len(ctx.candidates)
+
+
+# --------------------------------------------------------------------------
+# Technology mapping and verification.
+
+
+@register_pass("premap", "record the pre-resynthesis mapping as the QoR floor", kind="map")
+def _pass_premap(ctx: FlowContext) -> None:
+    ctx.pre_mapping = map_aig(ctx.aig, ctx.library)
+    ctx.pre_aig = ctx.aig
+    ctx.metrics["premap_delay"] = ctx.pre_mapping.delay
+    ctx.metrics["premap_area"] = ctx.pre_mapping.area
+
+
+@register_pass("map", "priority-cut standard-cell mapping (choice-aware)", kind="map")
+def _pass_map(
+    ctx: FlowContext,
+    use_choices: bool = False,
+    choice_max_pairs: int = 400,
+    choice_sat_budget: int = 300,
+    cleanup: bool = True,
+    keep_premap: bool = True,
+) -> None:
+    """Map the working AIG — or, after ``extract``, every candidate — and
+    keep the best ``(delay, area)``.  ``cleanup`` applies the light
+    balance+rewrite recovery to extraction candidates before mapping;
+    ``keep_premap`` falls back to the ``premap`` result when it still wins.
+    """
+    from_extraction = bool(ctx.candidates)
+    targets = ctx.candidates if from_extraction else [ctx.aig]
+    best_mapping = None
+    best_aig = None
+    for candidate in targets:
+        work = candidate
+        if from_extraction and cleanup:
+            # Extraction from a saturated e-graph can leave duplicated
+            # structure behind; balancing plus one rewriting pass recovers it
+            # without disturbing the depth profile.
+            work = rewrite(balance(work))
+        if use_choices:
+            choice = compute_choices(
+                work, max_pairs=choice_max_pairs, conflict_budget=choice_sat_budget
+            )
+            mapping = map_aig(choice.aig, ctx.library, choices=choice.classes)
+        else:
+            mapping = map_aig(work, ctx.library)
+        if best_mapping is None or (mapping.delay, mapping.area) < (best_mapping.delay, best_mapping.area):
+            best_mapping = mapping
+            best_aig = work
+    if (
+        keep_premap
+        and ctx.pre_mapping is not None
+        and (ctx.pre_mapping.delay, ctx.pre_mapping.area) < (best_mapping.delay, best_mapping.area)
+    ):
+        best_mapping = ctx.pre_mapping
+        best_aig = ctx.pre_aig
+    ctx.mapping = best_mapping
+    ctx.aig = best_aig
+    ctx.candidates = []
+    ctx.metrics["area"] = best_mapping.area
+    ctx.metrics["delay"] = best_mapping.delay
+
+
+@register_pass("cec", "SAT-based equivalence check against the pipeline input", kind="verify")
+def _pass_cec(ctx: FlowContext, sim_words: int = 8, conflict_budget: int = 20_000) -> None:
+    ctx.equivalence = check_equivalence(
+        ctx.original, ctx.aig, sim_words=sim_words, conflict_budget=conflict_budget
+    )
+    ctx.metrics["equivalence"] = ctx.equivalence.status

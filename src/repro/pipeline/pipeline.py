@@ -1,0 +1,275 @@
+"""First-class, composable pass pipelines.
+
+A :class:`Pipeline` is an ordered list of :class:`Step` (pass name + explicit
+parameter overrides + optional phase tag).  It can be built from an ABC-style
+script (``Pipeline.from_script("st; sopb; dag2eg; saturate(iters=4); map")``),
+programmatically (``Pipeline([...])``), or from a JSON spec; all three
+normalize to the same canonical form, so equal pipelines serialize — and
+content-hash — identically regardless of spelling.
+
+``run`` executes the steps over a :class:`FlowContext` with per-pass
+wall-clock timing and start/end event hooks; ``run_flow`` wraps the context
+into a :class:`PipelineResult` with the same QoR surface as the flow result
+dataclasses (area/delay/levels/runtime/phase_runtimes), which is what the
+orchestrator stores and reports for scripted flow shapes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.aig.graph import Aig
+from repro.aig.levels import logic_depth
+from repro.mapping.cut_mapping import MappingResult
+from repro.mapping.library import Library
+from repro.pipeline.context import FlowContext, PassEndHook, PassStartHook, PipelineError
+from repro.pipeline.script import parse_script, render_script
+from repro.pipeline.passes import resolve_pass
+from repro.verify.cec import CecResult
+
+
+def _normalize_param(value: object, default: object) -> object:
+    """Align a parameter value's numeric type with its registry default, so
+    ``temperature=2000`` and ``temperature=2000.0`` canonicalize identically."""
+    if isinstance(default, bool) or isinstance(value, bool) or value is None:
+        return value
+    if isinstance(default, float) and isinstance(value, int):
+        return float(value)
+    if isinstance(default, int) and isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+@dataclass(frozen=True)
+class Step:
+    """One pipeline step: a registered pass plus explicit parameter overrides.
+
+    ``params`` holds only the overrides (defaults live in the registry), so a
+    step's canonical form is minimal.  ``phase`` tags the step's wall-clock
+    bucket for ``phase_runtimes``; it defaults to the pass name.
+    """
+
+    pass_name: str
+    params: Tuple[Tuple[str, object], ...] = ()
+    phase: Optional[str] = None
+
+    @classmethod
+    def make(
+        cls,
+        pass_name: str,
+        params: Optional[Dict[str, object]] = None,
+        phase: Optional[str] = None,
+    ) -> "Step":
+        spec = resolve_pass(pass_name)
+        validated = spec.validate_params(params or {})
+        normalized: Dict[str, object] = {}
+        for key, value in validated.items():
+            value = _normalize_param(value, spec.params[key])
+            # Overrides equal to the registry default are redundant; dropping
+            # them keeps canonical specs minimal so e.g. "extract(sa)" and
+            # "extract" hash — and cache — identically.
+            if value != spec.params[key]:
+                normalized[key] = value
+        return cls(
+            pass_name=spec.name,
+            params=tuple(sorted(normalized.items())),
+            phase=phase,
+        )
+
+    @property
+    def param_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+    @property
+    def phase_label(self) -> str:
+        return self.phase or self.pass_name
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"pass": self.pass_name}
+        if self.params:
+            data["params"] = self.param_dict
+        if self.phase is not None:
+            data["phase"] = self.phase
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Step":
+        return cls.make(
+            str(data["pass"]),
+            params=dict(data.get("params") or {}),
+            phase=data.get("phase"),
+        )
+
+
+@dataclass
+class PipelineResult:
+    """QoR and timing surface of one scripted pipeline run."""
+
+    aig: Aig
+    script: str
+    mapping: Optional[MappingResult] = None
+    runtime: float = 0.0
+    phase_runtimes: Dict[str, float] = field(default_factory=dict)
+    pass_runtimes: List[Tuple[str, float]] = field(default_factory=list)
+    metrics: Dict[str, object] = field(default_factory=dict)
+    equivalence: Optional[CecResult] = None
+
+    @property
+    def levels(self) -> int:
+        return logic_depth(self.aig)
+
+    def runtime_breakdown(self) -> Dict[str, float]:
+        """Per-phase share of the pipeline's pass time (generic flows have no
+        fixed Fig.-9 buckets, so the breakdown is per phase tag)."""
+        return dict(self.phase_runtimes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable QoR summary; mapping keys only when mapped."""
+        data: Dict[str, object] = {
+            "flow": "pipeline",
+            "script": self.script,
+            "levels": self.levels,
+            "runtime": self.runtime,
+            "phase_runtimes": dict(self.phase_runtimes),
+            "pass_runtimes": [[name, seconds] for name, seconds in self.pass_runtimes],
+            "metrics": {
+                key: value
+                for key, value in self.metrics.items()
+                if isinstance(value, (int, float, str, bool, type(None)))
+            },
+            "equivalence": None if self.equivalence is None else self.equivalence.status,
+        }
+        if self.mapping is not None:
+            data["area"] = self.mapping.area
+            data["delay"] = self.mapping.delay
+            data["num_gates"] = self.mapping.num_gates
+        return data
+
+
+class Pipeline:
+    """An ordered, immutable sequence of passes over a :class:`FlowContext`."""
+
+    def __init__(self, steps: Sequence[Union[Step, Tuple[str, Dict[str, object]]]]):
+        normalized: List[Step] = []
+        for step in steps:
+            if isinstance(step, Step):
+                # Re-normalize: canonical name + validated params.
+                normalized.append(Step.make(step.pass_name, step.param_dict, step.phase))
+            else:
+                name, params = step
+                normalized.append(Step.make(name, params))
+        if not normalized:
+            raise PipelineError("a pipeline needs at least one step")
+        self.steps: Tuple[Step, ...] = tuple(normalized)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_script(cls, text: str) -> "Pipeline":
+        return cls([Step.make(name, params) for name, params in parse_script(text)])
+
+    @classmethod
+    def from_spec(cls, spec: Union[str, Dict[str, object]]) -> "Pipeline":
+        """Rebuild from :meth:`to_spec` output (or directly from script text)."""
+        if isinstance(spec, str):
+            return cls.from_script(spec)
+        if "steps" in spec:
+            return cls([Step.from_dict(step) for step in spec["steps"]])
+        if "script" in spec:
+            return cls.from_script(str(spec["script"]))
+        raise PipelineError("pipeline spec needs a 'steps' list or a 'script' string")
+
+    # -- serialization ------------------------------------------------------
+
+    def to_script(self) -> str:
+        """Canonical script text (parse → to_script is a fixed point)."""
+        return render_script([(step.pass_name, step.param_dict) for step in self.steps])
+
+    def to_spec(self) -> Dict[str, object]:
+        """Canonical JSON-serializable spec — the hashable ``JobSpec`` payload.
+
+        The script text is the single encoding; the explicit step list is
+        emitted only when phase tags (which script text cannot express) are
+        present.
+        """
+        if any(step.phase is not None for step in self.steps):
+            return {"steps": [step.to_dict() for step in self.steps]}
+        return {"script": self.to_script()}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Pipeline) and self.steps == other.steps
+
+    def __hash__(self) -> int:
+        return hash(self.steps)
+
+    def __repr__(self) -> str:
+        return f"Pipeline({self.to_script()!r})"
+
+    def describe(self) -> List[str]:
+        """One line per step for ``emorphic scripts``-style listings."""
+        lines = []
+        for step in self.steps:
+            spec = resolve_pass(step.pass_name)
+            params = ", ".join(f"{k}={v}" for k, v in step.params)
+            lines.append(f"{spec.name}({params})" if params else spec.name)
+        return lines
+
+    # -- execution ----------------------------------------------------------
+
+    def run(
+        self,
+        aig: Aig,
+        library: Optional[Library] = None,
+        ml_model: Optional[object] = None,
+        on_pass_start: Optional[PassStartHook] = None,
+        on_pass_end: Optional[PassEndHook] = None,
+    ) -> FlowContext:
+        """Execute every step on a fresh context; returns the final context."""
+        ctx = FlowContext.for_aig(
+            aig,
+            library=library,
+            ml_model=ml_model,
+            on_pass_start=on_pass_start,
+            on_pass_end=on_pass_end,
+        )
+        for step in self.steps:
+            spec = resolve_pass(step.pass_name)
+            if ctx.on_pass_start is not None:
+                ctx.on_pass_start(spec.name, ctx)
+            t0 = time.perf_counter()
+            spec.run(ctx, step.param_dict)
+            elapsed = time.perf_counter() - t0
+            ctx.record_timing(spec.name, step.phase_label, elapsed)
+            if ctx.on_pass_end is not None:
+                ctx.on_pass_end(spec.name, ctx, elapsed)
+        return ctx
+
+    def run_flow(
+        self,
+        aig: Aig,
+        library: Optional[Library] = None,
+        ml_model: Optional[object] = None,
+        on_pass_start: Optional[PassStartHook] = None,
+        on_pass_end: Optional[PassEndHook] = None,
+    ) -> PipelineResult:
+        """Execute and wrap the context into a :class:`PipelineResult`."""
+        start = time.perf_counter()
+        ctx = self.run(
+            aig,
+            library=library,
+            ml_model=ml_model,
+            on_pass_start=on_pass_start,
+            on_pass_end=on_pass_end,
+        )
+        return PipelineResult(
+            aig=ctx.aig,
+            script=self.to_script(),
+            mapping=ctx.mapping,
+            runtime=time.perf_counter() - start,
+            phase_runtimes=ctx.phase_runtimes(),
+            pass_runtimes=ctx.pass_runtimes(),
+            metrics=dict(ctx.metrics),
+            equivalence=ctx.equivalence,
+        )

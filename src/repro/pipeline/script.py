@@ -1,0 +1,146 @@
+"""ABC-style pipeline script parsing.
+
+Grammar (semicolon-separated statements, ``#`` comments to end of line)::
+
+    script := stmt (';' stmt)*
+    stmt   := NAME [ '(' arg (',' arg)* ')' ]
+    arg    := [NAME '='] value
+    value  := NAME | NUMBER | 'true' | 'false' | 'none'
+
+Positional values bind to the pass's declared positional parameters (e.g.
+``extract(sa, threads=2)`` binds ``sa`` to ``method``).  Values are coerced
+bool → int → float → ``None`` → string, so ``saturate(iters=4,
+time_limit=2.5)`` and ``cec(conflict_budget=none)`` need no quoting.  Pass
+names may be aliases (``st``, ``b``, ``rw``, ``rf``, ``sopb``); parsed steps
+always carry the canonical name, so two spellings of the same pipeline
+serialize — and hash — identically.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.pipeline.context import PipelineError
+from repro.pipeline.passes import resolve_pass
+from repro.pipeline.values import coerce_value, render_value  # noqa: F401 (re-export)
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<number>-?\d+\.\d*|-?\.\d+|-?\d+)
+  | (?P<punct>[;,()=])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            raise PipelineError(f"unexpected character {text[pos]!r} at offset {pos} in script")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append((kind, match.group()))
+    return tokens
+
+
+def parse_script(text: str) -> List[Tuple[str, Dict[str, object]]]:
+    """Parse a script into ``[(canonical_pass_name, params), ...]``.
+
+    Raises :class:`PipelineError` on unknown passes, unknown or repeated
+    parameters, positional arguments beyond the pass's declared positional
+    slots, or malformed syntax.
+    """
+    tokens = _tokenize(text)
+    steps: List[Tuple[str, Dict[str, object]]] = []
+    index = 0
+
+    def peek() -> Tuple[str, str]:
+        return tokens[index] if index < len(tokens) else ("end", "")
+
+    def take(expected_kind: str = None, expected_text: str = None) -> Tuple[str, str]:
+        nonlocal index
+        kind, value = peek()
+        if kind == "end":
+            raise PipelineError("unexpected end of script")
+        if expected_kind is not None and kind != expected_kind:
+            raise PipelineError(f"expected {expected_kind}, got {value!r} in script")
+        if expected_text is not None and value != expected_text:
+            raise PipelineError(f"expected {expected_text!r}, got {value!r} in script")
+        index += 1
+        return kind, value
+
+    while index < len(tokens):
+        if peek() == ("punct", ";"):  # tolerate empty statements / trailing ';'
+            take()
+            continue
+        _, name = take("name")
+        spec = resolve_pass(name)
+        params: Dict[str, object] = {}
+        positional_used = 0
+        if peek() == ("punct", "("):
+            take()
+            while peek() != ("punct", ")"):
+                kind, value = take()
+                if kind not in ("name", "number"):
+                    raise PipelineError(f"expected an argument, got {value!r} in pass {name!r}")
+                if kind == "name" and peek() == ("punct", "="):
+                    take()
+                    vkind, vtext = take()
+                    if vkind not in ("name", "number"):
+                        raise PipelineError(
+                            f"expected a value for {value!r} in pass {name!r}, got {vtext!r}"
+                        )
+                    key = value
+                    if key not in spec.params:
+                        raise PipelineError(
+                            f"pass {spec.name!r} has no parameter {key!r}; "
+                            f"accepted: {', '.join(sorted(spec.params)) or '(none)'}"
+                        )
+                    if key in params:
+                        raise PipelineError(f"parameter {key!r} given twice for pass {spec.name!r}")
+                    params[key] = coerce_value(vtext)
+                else:
+                    if positional_used >= len(spec.positional):
+                        raise PipelineError(
+                            f"pass {spec.name!r} takes {len(spec.positional)} positional "
+                            f"argument(s); use name=value for the rest"
+                        )
+                    key = spec.positional[positional_used]
+                    positional_used += 1
+                    if key in params:
+                        raise PipelineError(f"parameter {key!r} given twice for pass {spec.name!r}")
+                    params[key] = coerce_value(value)
+                if peek() == ("punct", ","):
+                    take()
+                elif peek() != ("punct", ")"):
+                    raise PipelineError(f"expected ',' or ')' in arguments of pass {spec.name!r}")
+            take("punct", ")")
+        steps.append((spec.name, params))
+        if peek() == ("punct", ";"):
+            take()
+        elif peek()[0] != "end":
+            raise PipelineError(f"expected ';' between statements, got {peek()[1]!r}")
+    if not steps:
+        raise PipelineError("empty pipeline script")
+    return steps
+
+
+def render_script(steps: List[Tuple[str, Dict[str, object]]]) -> str:
+    """Canonical one-line script text for parsed/programmatic steps."""
+    rendered = []
+    for name, params in steps:
+        if params:
+            args = ", ".join(f"{key}={render_value(value)}" for key, value in sorted(params.items()))
+            rendered.append(f"{name}({args})")
+        else:
+            rendered.append(name)
+    return "; ".join(rendered)

@@ -1,0 +1,38 @@
+"""Scalar value coercion shared by the script parser, pass listings, and CLI.
+
+One source of truth for how script/CLI text becomes parameter values and
+back: ``coerce_value`` maps tokens bool → int → float → ``None`` → string,
+``render_value`` is its inverse (``render_value(coerce_value(s))`` reproduces
+a canonical spelling of ``s``).
+"""
+
+from __future__ import annotations
+
+
+def coerce_value(text: str) -> object:
+    """bool/int/float/None if the token reads as one, else the bare string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def render_value(value: object) -> str:
+    """Inverse of :func:`coerce_value` for canonical script text."""
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if value is None:
+        return "none"
+    return str(value)
