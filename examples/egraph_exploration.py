@@ -5,8 +5,9 @@ This example peels the E-morphic flow apart and uses the library's lower
 level APIs directly:
 
 1. build a circuit and convert it to an e-graph (direct DAG-to-DAG);
-2. run a few equality-saturation iterations with the Boolean rule set and
-   watch the number of equivalence classes grow;
+2. run a few equality-saturation iterations on the engine (backoff
+   scheduling + op-indexed e-matching) and watch the number of equivalence
+   classes grow — including the per-rule telemetry of the run;
 3. extract structures with different objectives (node count vs depth) and
    with the simulated-annealing extractor;
 4. map every extracted structure and compare post-mapping area/delay —
@@ -23,7 +24,7 @@ from repro.benchgen import arithmetic
 from repro.conversion.dag2eg import aig_to_egraph
 from repro.conversion.eg2dag import extraction_to_aig
 from repro.egraph.rules import boolean_rules
-from repro.egraph.runner import Runner, RunnerLimits
+from repro.engine import EngineLimits, SaturationEngine
 from repro.extraction.cost import DepthCost, NodeCountCost
 from repro.extraction.greedy import greedy_extract
 from repro.extraction.sa import SAExtractor
@@ -46,17 +47,24 @@ def main() -> int:
     circuit = aig_to_egraph(aig)
     print(f"initial e-graph: {circuit.egraph.num_classes} classes, {circuit.egraph.num_nodes} e-nodes")
 
-    # 2. Equality saturation, a few iterations (the paper uses 5).
-    runner = Runner(
+    # 2. Equality saturation, a few iterations (the paper uses 5), on the
+    #    engine: backoff scheduling + op-indexed e-matching + match dedup.
+    engine = SaturationEngine(
         circuit.egraph,
         boolean_rules(),
-        RunnerLimits(max_iterations=4, max_nodes=20_000, time_limit=20.0),
+        EngineLimits(max_iterations=4, max_nodes=20_000, time_limit=20.0),
+        scheduler="backoff",
     )
-    run_report = runner.run()
-    print(f"after rewriting ({run_report.stop_reason}):")
-    for it in run_report.iterations:
+    profile = engine.run()
+    print(f"after rewriting ({profile.stop_reason}, scheduler={profile.scheduler}):")
+    for it in profile.iterations:
         print(f"  iteration {it.iteration}: {it.num_classes} classes, {it.num_nodes} e-nodes "
-              f"({it.elapsed:.2f} s)")
+              f"({it.elapsed:.2f} s, {it.matches_found} matches, "
+              f"{len(it.banned)} rules banned)")
+    busiest = sorted(profile.rules.values(), key=lambda r: r.search_time, reverse=True)[:3]
+    for rule in busiest:
+        print(f"  busiest rule {rule.name}: {rule.matches_found} matches, "
+              f"{rule.applications} applications, search {rule.search_time:.2f} s")
 
     # 3. Extraction with different objectives.
     extractions = {

@@ -9,6 +9,9 @@ Subcommands:
 * ``pipeline``  — run an arbitrary scripted pass pipeline
   (``--script "st; sopb; dag2eg; saturate(iters=4); extract(sa); map; cec"``);
 * ``scripts``   — list the registered passes and named optimization scripts;
+* ``saturate-bench`` — benchmark the saturation engine (legacy loop vs
+  op-indexed vs backoff-scheduled) and write ``BENCH_saturation.json``,
+  optionally failing on regression against a checked-in reference;
 * ``list``      — list available benchmark circuits;
 * ``batch``     — run a whole campaign (circuits x flows, or circuits x a
   scripted pipeline via ``--script``) process-parallel with persistent
@@ -224,6 +227,48 @@ def cmd_scripts(_: argparse.Namespace) -> int:
     print("named optimization scripts (repro.opt.scripts.run_script):")
     for name in available_scripts():
         print(f"  {name}")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Saturation benchmarking.
+
+
+def cmd_saturate_bench(args: argparse.Namespace) -> int:
+    from repro.engine.bench import check_regressions, render_bench, run_saturation_bench
+
+    circuits = None
+    if args.circuits:
+        circuits = [name.strip() for name in args.circuits.split(",") if name.strip()]
+        available = set(epfl.available_circuits())
+        unknown = [name for name in circuits if name not in available]
+        if unknown:
+            raise SystemExit(f"unknown circuits: {', '.join(unknown)}")
+    payload = run_saturation_bench(
+        circuits=circuits,
+        preset=args.preset,
+        fast=args.fast,
+        iters=args.iters,
+        max_nodes=args.max_nodes,
+        time_limit=args.time_limit,
+        check_cec=not args.no_cec,
+        progress=(lambda message: print(f"  {message}", flush=True)),
+    )
+    print(render_bench(payload))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"bench written to {args.json}")
+    if args.reference:
+        with open(args.reference) as handle:
+            reference = json.load(handle)
+        failures = check_regressions(payload, reference, max_ratio=args.max_regression)
+        if failures:
+            print(f"PERF REGRESSION vs {args.reference}:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"no regression vs {args.reference} (threshold {args.max_regression:.1f}x)")
     return 0
 
 
@@ -463,6 +508,42 @@ def build_parser() -> argparse.ArgumentParser:
         "scripts", help="list registered pipeline passes and named optimization scripts"
     )
     p_scripts.set_defaults(func=cmd_scripts)
+
+    p_bench = sub.add_parser(
+        "saturate-bench",
+        help="benchmark the saturation engine (legacy vs indexed vs backoff) and "
+        "write BENCH_saturation.json",
+    )
+    p_bench.add_argument(
+        "--circuits",
+        default=None,
+        help="comma-separated benchmark names (default: the largest benchgen circuits)",
+    )
+    p_bench.add_argument("--preset", default="bench", choices=["test", "bench"], help="benchmark size preset")
+    p_bench.add_argument(
+        "--fast",
+        action="store_true",
+        help="CI profile: test-preset circuits, 3 iterations, small node budget",
+    )
+    p_bench.add_argument("--iters", type=int, default=None, help="saturation iterations per run")
+    p_bench.add_argument("--max-nodes", type=int, default=None, help="node cap per run")
+    p_bench.add_argument("--time-limit", type=float, default=None, help="per-run time limit (s)")
+    p_bench.add_argument("--no-cec", action="store_true", help="skip the extraction equivalence check")
+    p_bench.add_argument(
+        "--json", default="BENCH_saturation.json", help="write the payload to this file ('' to skip)"
+    )
+    p_bench.add_argument(
+        "--reference",
+        default=None,
+        help="compare against this checked-in bench payload and fail on regression",
+    )
+    p_bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when wall-clock exceeds reference by this factor",
+    )
+    p_bench.set_defaults(func=cmd_saturate_bench)
 
     p_batch = sub.add_parser(
         "batch", help="run a campaign of circuits x flows process-parallel with caching"

@@ -35,9 +35,44 @@ class CircuitEGraph:
     original_choice: Dict[int, "object"] = field(default_factory=dict)
 
     def original_extraction(self) -> Dict[int, "object"]:
-        """The identity extraction (original structure), re-canonicalised."""
+        """The identity extraction (original structure), re-canonicalised.
+
+        Saturation can merge two original classes (e.g. absorption proving
+        ``x AND (x OR y) == x``), after which the recorded choice for the
+        merged class may reference itself through the union-find — a cyclic
+        extraction that no longer denotes a circuit.  The result is therefore
+        *repaired* to an acyclic extraction: original choices are kept
+        wherever they are realizable bottom-up, and the few classes whose
+        original choice became cyclic fall back to a greedy alternative.
+        """
+        uf = self.egraph.union_find
         find = self.egraph.find
-        return {find(cid): enode for cid, enode in self.original_choice.items()}
+        preferred: Dict[int, object] = {}
+        for cid, enode in self.original_choice.items():
+            preferred.setdefault(find(cid), enode.canonicalize(uf))
+        # Bottom-up closure over the preferred choices only.  Original classes
+        # are closed under (canonicalised) children, so anything not realized
+        # by the fixpoint sits on a cycle introduced by a merge.
+        realized: Dict[int, object] = {}
+        changed = True
+        while changed and len(realized) < len(preferred):
+            changed = False
+            for cid, enode in preferred.items():
+                if cid in realized:
+                    continue
+                if all(find(c) in realized for c in enode.children):
+                    realized[cid] = enode
+                    changed = True
+        if len(realized) < len(preferred):
+            # Greedy choices are acyclic among themselves and never reference
+            # classes realized above (those only reference each other), so the
+            # overlay stays acyclic.  The whole greedy cover is merged because
+            # a repaired choice may reach classes outside the original set.
+            from repro.extraction.greedy import greedy_extract
+
+            for cid, enode in greedy_extract(self.egraph).items():
+                realized.setdefault(cid, enode)
+        return realized
 
 
 def aig_to_egraph(aig: Aig) -> CircuitEGraph:

@@ -41,6 +41,9 @@ def extraction_to_aig(
         if class_id in memo:
             return memo[class_id]
         # Iterative post-order build to avoid deep recursion on large graphs.
+        # ``expanding`` tracks the classes currently on the stack so a cyclic
+        # extraction fails loudly instead of looping forever.
+        expanding = set()
         stack = [(class_id, False)]
         while stack:
             cid, expanded = stack.pop()
@@ -52,11 +55,18 @@ def extraction_to_aig(
                 raise KeyError(f"extraction is missing a choice for e-class {cid}")
             children = [egraph.find(c) for c in enode.children]
             if not expanded:
+                if cid in expanding:
+                    raise ValueError(
+                        f"cyclic extraction: e-class {cid} reaches itself through "
+                        f"its chosen e-node {enode}"
+                    )
+                expanding.add(cid)
                 stack.append((cid, True))
                 for child in children:
                     if child not in memo:
                         stack.append((child, False))
                 continue
+            expanding.discard(cid)
             memo[cid] = _build_enode(aig, enode, [memo[c] for c in children], pi_lits)
         return memo[egraph.find(class_id)]
 

@@ -11,7 +11,7 @@ from repro.egraph.language import AND, CONST0, CONST1, NOT, OR, VAR, OpSpec
 from repro.egraph.pattern import Pattern, PatternNode, parse_pattern
 from repro.egraph.rewrite import Rewrite
 from repro.egraph.rules import boolean_rules, rule_names
-from repro.egraph.runner import Runner, RunnerLimits, RunnerReport
+from repro.egraph.runner import IterationReport, Runner, RunnerLimits, RunnerReport
 from repro.egraph.serialize import egraph_from_dsl, egraph_to_dsl
 from repro.egraph.unionfind import UnionFind
 
@@ -35,6 +35,7 @@ __all__ = [
     "Runner",
     "RunnerLimits",
     "RunnerReport",
+    "IterationReport",
     "egraph_from_dsl",
     "egraph_to_dsl",
     "UnionFind",

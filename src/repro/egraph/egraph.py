@@ -53,7 +53,17 @@ class EClass:
 
 
 class EGraph:
-    """An e-graph over the Boolean term language."""
+    """An e-graph over the Boolean term language.
+
+    Observers (e.g. the engine's op-index) may register through
+    :meth:`attach_observer`; they receive ``on_add(class_id, enode)`` for every
+    newly created e-class and ``on_union(root, other)`` for every merge
+    (including the upward merges performed during ``rebuild``), which is enough
+    to maintain derived structures incrementally instead of rescanning the
+    graph.  ``num_classes``/``num_nodes`` are O(1) counters maintained through
+    ``add``/``union``/``_repair`` — the saturation engine polls them inside its
+    hot loop.
+    """
 
     def __init__(self) -> None:
         self.union_find = UnionFind()
@@ -61,6 +71,19 @@ class EGraph:
         self.hashcons: Dict[ENode, int] = {}
         self.worklist: List[int] = []
         self.var_ids: Dict[str, int] = {}
+        self.observers: List[object] = []
+        self._num_classes = 0
+        self._num_nodes = 0
+
+    # -- observers -------------------------------------------------------------
+
+    def attach_observer(self, observer: object) -> None:
+        if observer not in self.observers:
+            self.observers.append(observer)
+
+    def detach_observer(self, observer: object) -> None:
+        if observer in self.observers:
+            self.observers.remove(observer)
 
     # -- core operations ------------------------------------------------------
 
@@ -77,10 +100,14 @@ class EGraph:
         eclass = EClass(class_id=class_id, nodes=[enode])
         self.classes[class_id] = eclass
         self.hashcons[enode] = class_id
+        self._num_classes += 1
+        self._num_nodes += 1
         for child in enode.children:
             self.classes[self.find(child)].parents.append((enode, class_id))
         if enode.op == VAR and enode.payload is not None:
             self.var_ids[enode.payload] = class_id
+        for observer in self.observers:
+            observer.on_add(class_id, enode)
         return class_id
 
     def add_term(self, op: str, children: Iterable[int] = (), payload: Optional[str] = None) -> int:
@@ -108,6 +135,9 @@ class EGraph:
         root_class.nodes.extend(other_class.nodes)
         root_class.parents.extend(other_class.parents)
         self.worklist.append(root)
+        self._num_classes -= 1
+        for observer in self.observers:
+            observer.on_union(root, other)
         return root
 
     def rebuild(self) -> int:
@@ -146,10 +176,17 @@ class EGraph:
                 parent_class = self.find(parent_class)
             new_parents[canonical] = parent_class
         eclass.parents = list(new_parents.items())
+        # The congruence unions above may have merged this class into another:
+        # its node list was extended into the winner (which is on the worklist
+        # and will dedup the combined list itself), so deduplicating the dead
+        # object here would double-subtract from the node counter.
+        if self.find(class_id) != class_id:
+            return merges
         # Deduplicate the class's own nodes after canonicalisation.
         seen: Dict[ENode, None] = {}
         for node in eclass.nodes:
             seen.setdefault(node.canonicalize(self.union_find), None)
+        self._num_nodes -= len(eclass.nodes) - len(seen)
         eclass.nodes = list(seen.keys())
         return merges
 
@@ -161,11 +198,11 @@ class EGraph:
 
     @property
     def num_classes(self) -> int:
-        return len(self.canonical_classes())
+        return self._num_classes
 
     @property
     def num_nodes(self) -> int:
-        return sum(len(ec.nodes) for ec in self.canonical_classes().values())
+        return self._num_nodes
 
     def nodes_of(self, class_id: int) -> List[ENode]:
         return self.classes[self.find(class_id)].nodes
@@ -198,6 +235,14 @@ class EGraph:
 
     def check_invariants(self) -> None:
         """Raise if the hashcons or congruence invariant is violated (for tests)."""
+        classes = self.canonical_classes()
+        if len(classes) != self._num_classes:
+            raise AssertionError(
+                f"class counter {self._num_classes} != live classes {len(classes)}"
+            )
+        actual_nodes = sum(len(ec.nodes) for ec in classes.values())
+        if actual_nodes != self._num_nodes:
+            raise AssertionError(f"node counter {self._num_nodes} != live nodes {actual_nodes}")
         for cid, eclass in self.canonical_classes().items():
             for node in eclass.nodes:
                 canonical = node.canonicalize(self.union_find)

@@ -1,124 +1,65 @@
-"""The equality-saturation runner: iterate rule application under limits.
+"""The equality-saturation runner: compatibility wrappers over the engine.
 
-Mirrors the egg Runner: each iteration searches all rules against the current
-e-graph, applies the matches, rebuilds, and stops on saturation or when the
-node / iteration / time limit is hit.  The paper's setting is a *small*
-iteration count (5) because even a few iterations produce a very large number
-of equivalence classes on post-optimization circuits.
+The naive egg-style loop that used to live here is superseded by
+:mod:`repro.engine` (op-indexed e-matching, rule scheduling, match dedup,
+telemetry).  ``Runner``/``saturate`` keep their historical signatures and
+semantics — they run the engine with the :class:`SimpleScheduler` and match
+dedup off, which reproduces the legacy behavior exactly (identical e-graphs,
+``applied`` counts and stop reasons) while still benefiting from the
+op-index, which only prunes classes that cannot match.
+
+``RunnerLimits``/``RunnerReport``/``IterationReport`` are aliases of the
+engine types, so existing imports keep working and old reports gain the new
+telemetry fields (``skipped``, per-phase times, dedup counts).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.egraph.egraph import EGraph
 from repro.egraph.rewrite import Rewrite
+from repro.engine.engine import EngineLimits, SaturationEngine
+from repro.engine.scheduler import SimpleScheduler
+from repro.engine.telemetry import IterationReport, SaturationProfile
 
+#: Legacy names: the engine types are drop-in supersets of the old dataclasses.
+RunnerLimits = EngineLimits
+RunnerReport = SaturationProfile
 
-@dataclass
-class RunnerLimits:
-    """Stopping conditions for equality saturation."""
-
-    max_iterations: int = 5
-    max_nodes: int = 200_000
-    max_classes: int = 100_000
-    time_limit: float = 60.0
-    match_limit_per_rule: int = 5_000
-
-
-@dataclass
-class IterationReport:
-    """Statistics of one saturation iteration."""
-
-    iteration: int
-    applied: Dict[str, int] = field(default_factory=dict)
-    num_classes: int = 0
-    num_nodes: int = 0
-    elapsed: float = 0.0
-
-
-@dataclass
-class RunnerReport:
-    """Overall result of a saturation run."""
-
-    stop_reason: str
-    iterations: List[IterationReport] = field(default_factory=list)
-    total_time: float = 0.0
-
-    @property
-    def num_iterations(self) -> int:
-        return len(self.iterations)
-
-    @property
-    def final_classes(self) -> int:
-        return self.iterations[-1].num_classes if self.iterations else 0
-
-    @property
-    def final_nodes(self) -> int:
-        return self.iterations[-1].num_nodes if self.iterations else 0
+__all__ = [
+    "Runner",
+    "RunnerLimits",
+    "RunnerReport",
+    "IterationReport",
+    "saturate",
+]
 
 
 class Runner:
-    """Applies a rule set to an e-graph until a stopping condition is met."""
+    """Applies a rule set to an e-graph until a stopping condition is met.
 
-    def __init__(self, egraph: EGraph, rules: Sequence[Rewrite], limits: Optional[RunnerLimits] = None):
+    Thin wrapper over :class:`repro.engine.SaturationEngine` pinned to the
+    legacy-equivalent ``SimpleScheduler``.
+    """
+
+    def __init__(
+        self, egraph: EGraph, rules: Sequence[Rewrite], limits: Optional[RunnerLimits] = None
+    ):
         self.egraph = egraph
         self.rules = list(rules)
         self.limits = limits or RunnerLimits()
         self.report: Optional[RunnerReport] = None
 
     def run(self) -> RunnerReport:
-        limits = self.limits
-        start = time.perf_counter()
-        reports: List[IterationReport] = []
-        stop_reason = "iteration_limit"
-        for iteration in range(limits.max_iterations):
-            iter_start = time.perf_counter()
-            if time.perf_counter() - start > limits.time_limit:
-                stop_reason = "time_limit"
-                break
-            # Search all rules against the frozen e-graph, then apply.
-            all_matches = []
-            for rule in self.rules:
-                matches = rule.search(self.egraph, limit=limits.match_limit_per_rule)
-                all_matches.append((rule, matches))
-            applied: Dict[str, int] = {}
-            total_applied = 0
-            for rule, matches in all_matches:
-                count = rule.apply(self.egraph, matches)
-                applied[rule.name] = count
-                total_applied += count
-                if self.egraph.num_nodes > limits.max_nodes:
-                    break
-            self.egraph.rebuild()
-            num_classes = self.egraph.num_classes
-            num_nodes = self.egraph.num_nodes
-            reports.append(
-                IterationReport(
-                    iteration=iteration,
-                    applied=applied,
-                    num_classes=num_classes,
-                    num_nodes=num_nodes,
-                    elapsed=time.perf_counter() - iter_start,
-                )
-            )
-            if total_applied == 0:
-                stop_reason = "saturated"
-                break
-            if num_nodes > limits.max_nodes:
-                stop_reason = "node_limit"
-                break
-            if num_classes > limits.max_classes:
-                stop_reason = "class_limit"
-                break
-            if time.perf_counter() - start > limits.time_limit:
-                stop_reason = "time_limit"
-                break
-        self.report = RunnerReport(
-            stop_reason=stop_reason, iterations=reports, total_time=time.perf_counter() - start
+        engine = SaturationEngine(
+            self.egraph,
+            self.rules,
+            limits=self.limits,
+            scheduler=SimpleScheduler(),
+            dedup_matches=False,
         )
+        self.report = engine.run()
         return self.report
 
 

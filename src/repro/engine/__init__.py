@@ -1,0 +1,36 @@
+"""The scalable saturation engine.
+
+Supersedes the naive ``repro.egraph.runner`` loop with op-indexed e-matching,
+egg-style rule scheduling (simple / backoff), cross-iteration match
+deduplication, worklist-driven incremental rebuilds, and full saturation
+telemetry.  ``egraph.runner.Runner``/``saturate`` remain as thin
+compatibility wrappers over :class:`SaturationEngine` with the
+:class:`SimpleScheduler`.
+"""
+
+from repro.engine.engine import EngineLimits, SaturationEngine, saturate_engine
+from repro.engine.index import OpIndex, scratch_index
+from repro.engine.scheduler import (
+    SCHEDULERS,
+    BackoffScheduler,
+    Scheduler,
+    SimpleScheduler,
+    make_scheduler,
+)
+from repro.engine.telemetry import IterationReport, RuleProfile, SaturationProfile
+
+__all__ = [
+    "SaturationEngine",
+    "EngineLimits",
+    "saturate_engine",
+    "OpIndex",
+    "scratch_index",
+    "Scheduler",
+    "SimpleScheduler",
+    "BackoffScheduler",
+    "make_scheduler",
+    "SCHEDULERS",
+    "SaturationProfile",
+    "IterationReport",
+    "RuleProfile",
+]

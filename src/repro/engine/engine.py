@@ -1,0 +1,245 @@
+"""The saturation engine: indexed e-matching, scheduling, dedup, telemetry.
+
+:class:`SaturationEngine` supersedes the naive ``egraph.Runner`` loop while
+preserving its semantics exactly when configured with the
+:class:`~repro.engine.scheduler.SimpleScheduler`:
+
+* iterations are two-phase (search every eligible rule against the frozen
+  e-graph, then apply rule by rule), so the legacy runner is the special case
+  ``SimpleScheduler`` + all classes as candidates;
+* the **op-index** narrows each rule's search to classes that contain its
+  root operator, maintained incrementally through ``add``/``union``/rebuild
+  via the e-graph observer protocol;
+* **match deduplication** remembers every (rule, canonical class, canonical
+  substitution) triple that was already instantiated and skips it in later
+  iterations.  A skipped re-instantiation could at most have re-created
+  transient duplicate nodes that congruence repair merges right back, so
+  dedup preserves every equivalence the legacy loop discovers (graphs can
+  differ structurally once a node budget truncates growth, which is why the
+  parity-exact ``Runner`` wrapper runs with dedup off);
+* the **rebuild** after each apply phase stays worklist-driven: only classes
+  dirtied by unions (and their congruent parents) are repaired, and the
+  e-graph's O(1) class/node counters keep the per-rule budget checks out of
+  the profile.
+
+``run`` returns a :class:`~repro.engine.telemetry.SaturationProfile` with
+per-rule and per-iteration telemetry; the legacy stop reasons
+(``saturated`` / ``iteration_limit`` / ``node_limit`` / ``class_limit`` /
+``time_limit``) are unchanged, except that a quiet iteration in which the
+*scheduler* held something back (a banned rule, backoff-truncated matches)
+does not count as saturation.  Truncation by the hard
+``match_limit_per_rule`` cap deliberately keeps the legacy verdict: a quiet
+iteration under the cap stopped the old runner too, and the sorted search
+order re-finds the same prefix every iteration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.pattern import Match, instantiate
+from repro.egraph.rewrite import Rewrite
+from repro.engine.index import OpIndex
+from repro.engine.scheduler import Scheduler, make_scheduler
+from repro.engine.telemetry import IterationReport, RuleProfile, SaturationProfile
+
+
+@dataclass
+class EngineLimits:
+    """Stopping conditions for equality saturation (legacy ``RunnerLimits``)."""
+
+    max_iterations: int = 5
+    max_nodes: int = 200_000
+    max_classes: int = 100_000
+    time_limit: float = 60.0
+    match_limit_per_rule: int = 5_000
+
+
+#: Canonical dedup key: (rule name, canonical class, canonical substitution).
+MatchKey = Tuple[str, int, Tuple[Tuple[str, int], ...]]
+
+
+class SaturationEngine:
+    """Applies a rule set to an e-graph until a stopping condition is met."""
+
+    def __init__(
+        self,
+        egraph: EGraph,
+        rules: Sequence[Rewrite],
+        limits: Optional[EngineLimits] = None,
+        scheduler: Union[str, Scheduler, None] = None,
+        use_index: bool = True,
+        dedup_matches: bool = True,
+    ) -> None:
+        self.egraph = egraph
+        self.rules = list(rules)
+        self.limits = limits or EngineLimits()
+        self.scheduler = make_scheduler(scheduler)
+        self.use_index = use_index
+        self.dedup_matches = dedup_matches
+        self.profile: Optional[SaturationProfile] = None
+        self._seen: Set[MatchKey] = set()
+
+    # -- internals -------------------------------------------------------------
+
+    def _match_key(self, rule: Rewrite, match: Match) -> MatchKey:
+        # Substitution values are find-canonical at search time; skipping the
+        # re-canonicalization here keeps key construction cheap.  A key staled
+        # by a later union just misses the seen-set, and re-instantiating an
+        # applied match is harmless (see module docstring).
+        return (rule.name, match.class_id, tuple(sorted(match.substitution.items())))
+
+    def _apply_rule(self, rule: Rewrite, matches: List[Match], stats: RuleProfile) -> int:
+        """Apply one rule's matches (with dedup); returns unions performed."""
+        egraph = self.egraph
+        applied = 0
+        for match in matches:
+            if self.dedup_matches:
+                key = self._match_key(rule, match)
+                if key in self._seen:
+                    stats.matches_deduped += 1
+                    continue
+            if rule.condition is not None and not rule.condition(egraph, match):
+                continue
+            if self.dedup_matches:
+                self._seen.add(key)
+            new_class = instantiate(egraph, rule.rhs.root, match.substitution)
+            if egraph.find(new_class) != egraph.find(match.class_id):
+                egraph.union(match.class_id, new_class)
+                applied += 1
+        return applied
+
+    # -- the loop --------------------------------------------------------------
+
+    def run(self) -> SaturationProfile:
+        limits = self.limits
+        scheduler = self.scheduler
+        egraph = self.egraph
+        self._seen = set()  # dedup is per run: a re-run starts fresh
+        index = OpIndex(egraph) if self.use_index else None
+        rule_stats: Dict[str, RuleProfile] = {
+            rule.name: RuleProfile(name=rule.name) for rule in self.rules
+        }
+        iterations: List[IterationReport] = []
+        stop_reason = "iteration_limit"
+        start = time.perf_counter()
+        try:
+            for iteration in range(limits.max_iterations):
+                iter_start = time.perf_counter()
+                if iter_start - start > limits.time_limit:
+                    stop_reason = "time_limit"
+                    break
+                report = IterationReport(iteration=iteration)
+
+                # Phase 1: search every eligible rule against the frozen graph.
+                # ``restricted`` notes that the scheduler held something back
+                # this iteration (a banned rule, backoff-truncated matches): a
+                # quiet iteration under scheduler restriction is not
+                # saturation.  The hard match_limit_per_rule cap is *not* a
+                # restriction — quiet under the cap saturated the legacy
+                # runner too.
+                searched: List[Tuple[Rewrite, List[Match]]] = []
+                restricted = False
+                for rule in self.rules:
+                    stats = rule_stats[rule.name]
+                    if not scheduler.can_search(iteration, rule.name):
+                        stats.banned_iterations += 1
+                        report.banned.append(rule.name)
+                        restricted = True
+                        continue
+                    t0 = time.perf_counter()
+                    candidates = index.candidates(rule.lhs.root) if index is not None else None
+                    matches = rule.search(
+                        egraph, limit=limits.match_limit_per_rule, candidates=candidates
+                    )
+                    stats.search_time += time.perf_counter() - t0
+                    allowed = scheduler.allowed_matches(iteration, rule.name, len(matches))
+                    if allowed < len(matches):
+                        matches = matches[:allowed]
+                        stats.times_banned += 1
+                        restricted = True
+                    stats.matches_found += len(matches)
+                    report.matches_found += len(matches)
+                    searched.append((rule, matches))
+                report.search_time = time.perf_counter() - iter_start
+
+                # Phase 2: apply rule by rule; the node budget is checked
+                # between rules, and rules past the trip point are recorded as
+                # skipped instead of silently dropped from ``applied``.
+                apply_start = time.perf_counter()
+                total_applied = 0
+                budget_tripped = False
+                for rule, matches in searched:
+                    stats = rule_stats[rule.name]
+                    if budget_tripped:
+                        report.skipped.append(rule.name)
+                        stats.skipped_iterations += 1
+                        continue
+                    t0 = time.perf_counter()
+                    deduped_before = stats.matches_deduped
+                    count = self._apply_rule(rule, matches, stats)
+                    stats.apply_time += time.perf_counter() - t0
+                    stats.applications += count
+                    report.matches_deduped += stats.matches_deduped - deduped_before
+                    report.applied[rule.name] = count
+                    total_applied += count
+                    if egraph.num_nodes > limits.max_nodes:
+                        budget_tripped = True
+                report.apply_time = time.perf_counter() - apply_start
+
+                rebuild_start = time.perf_counter()
+                egraph.rebuild()
+                report.rebuild_time = time.perf_counter() - rebuild_start
+
+                report.num_classes = egraph.num_classes
+                report.num_nodes = egraph.num_nodes
+                report.elapsed = time.perf_counter() - iter_start
+                iterations.append(report)
+
+                if total_applied == 0 and not restricted:
+                    stop_reason = "saturated"
+                    break
+                if egraph.num_nodes > limits.max_nodes:
+                    stop_reason = "node_limit"
+                    break
+                if egraph.num_classes > limits.max_classes:
+                    stop_reason = "class_limit"
+                    break
+                if time.perf_counter() - start > limits.time_limit:
+                    stop_reason = "time_limit"
+                    break
+        finally:
+            if index is not None:
+                index.detach()
+        self.profile = SaturationProfile(
+            stop_reason=stop_reason,
+            iterations=iterations,
+            total_time=time.perf_counter() - start,
+            rules=rule_stats,
+            scheduler=scheduler.name,
+            indexed=self.use_index,
+            dedup=self.dedup_matches,
+        )
+        return self.profile
+
+
+def saturate_engine(
+    egraph: EGraph,
+    rules: Sequence[Rewrite],
+    limits: Optional[EngineLimits] = None,
+    scheduler: Union[str, Scheduler, None] = None,
+    use_index: bool = True,
+    dedup_matches: bool = True,
+) -> SaturationProfile:
+    """One-call helper mirroring ``egraph.runner.saturate`` on the engine."""
+    return SaturationEngine(
+        egraph,
+        rules,
+        limits=limits,
+        scheduler=scheduler,
+        use_index=use_index,
+        dedup_matches=dedup_matches,
+    ).run()

@@ -1,0 +1,100 @@
+"""The op-index: operator -> canonical e-class ids, maintained incrementally.
+
+Naive e-matching visits *every* e-class for *every* rule each iteration.  But
+a pattern whose root is ``(AND ...)`` can only match classes that contain at
+least one AND e-node, so indexing classes by operator cuts the candidate set
+per rule to the classes that could possibly match.
+
+The index registers as an :class:`~repro.egraph.egraph.EGraph` observer:
+
+* ``on_add(class_id, enode)`` — a brand-new singleton class; index it under
+  the node's operator.
+* ``on_union(root, other)`` — ``other`` was merged into ``root``; move every
+  operator ``other`` was indexed under over to ``root``.  Union events are
+  also emitted for the upward merges inside ``rebuild``, so the index stays
+  canonical through congruence repair without any rescan.
+
+Node deduplication during repair never changes the *set* of operators a class
+contains (duplicates collapse onto an identical canonical node), so the two
+events above keep the index exactly equal to one built from scratch — which
+is what ``tests/test_engine.py`` asserts under randomized workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.egraph.egraph import EGraph, ENode
+from repro.egraph.language import VAR
+from repro.egraph.pattern import PatternNode
+
+
+class OpIndex:
+    """Incrementally maintained map of operator -> canonical class ids."""
+
+    def __init__(self, egraph: EGraph, attach: bool = True) -> None:
+        self.egraph = egraph
+        self.by_op: Dict[str, Set[int]] = {}
+        self.class_ops: Dict[int, Set[str]] = {}
+        for class_id, eclass in egraph.canonical_classes().items():
+            for node in eclass.nodes:
+                self._index(class_id, node.op)
+        if attach:
+            egraph.attach_observer(self)
+
+    def _index(self, class_id: int, op: str) -> None:
+        self.by_op.setdefault(op, set()).add(class_id)
+        self.class_ops.setdefault(class_id, set()).add(op)
+
+    # -- EGraph observer protocol ---------------------------------------------
+
+    def on_add(self, class_id: int, enode: ENode) -> None:
+        self._index(class_id, enode.op)
+
+    def on_union(self, root: int, other: int) -> None:
+        moved = self.class_ops.pop(other, set())
+        for op in moved:
+            self.by_op[op].discard(other)
+        if moved:
+            target = self.class_ops.setdefault(root, set())
+            target |= moved
+            for op in moved:
+                self.by_op[op].add(root)
+
+    def detach(self) -> None:
+        self.egraph.detach_observer(self)
+
+    # -- queries ---------------------------------------------------------------
+
+    def classes_with_op(self, op: str) -> Set[int]:
+        return self.by_op.get(op, set())
+
+    def candidates(self, root: PatternNode) -> Optional[List[int]]:
+        """Candidate class ids for a pattern root; ``None`` means "all classes".
+
+        A root pattern variable matches anything; an operator root can only
+        match classes indexed under that operator; a symbol root (a concrete
+        input name) only classes containing a VAR leaf.
+        """
+        if root.kind == "op":
+            return list(self.by_op.get(root.op, ()))
+        if root.kind == "symbol":
+            return list(self.by_op.get(VAR, ()))
+        return None
+
+    def snapshot(self) -> Dict[str, FrozenSet[int]]:
+        """Canonicalised, empty-pruned view for comparisons in tests."""
+        return {
+            op: frozenset(ids)
+            for op, ids in self.by_op.items()
+            if ids
+        }
+
+
+def scratch_index(egraph: EGraph) -> Dict[str, FrozenSet[int]]:
+    """An op-index built by full scan, in ``snapshot`` form (test oracle)."""
+    by_op: Dict[str, Set[int]] = {}
+    for class_id, eclass in egraph.canonical_classes().items():
+        for node in eclass.nodes:
+            by_op.setdefault(node.op, set()).add(class_id)
+    return {op: frozenset(ids) for op, ids in by_op.items() if ids}

@@ -1,0 +1,151 @@
+"""Saturation telemetry: per-rule and per-iteration statistics of a run.
+
+:class:`SaturationProfile` is the engine's return value and doubles as the
+legacy ``RunnerReport`` (``repro.egraph.runner`` re-exports it under that
+name), so every consumer of the old report keeps working while new code gets
+per-rule search/apply wall-clock, match/dedup counts, ban bookkeeping, and
+per-iteration growth curves.  Everything serializes to plain JSON via
+``to_dict``/``from_dict`` — orchestrate job payloads and
+``BENCH_saturation.json`` carry these records verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class RuleProfile:
+    """Cumulative statistics of one rule across a saturation run."""
+
+    name: str
+    search_time: float = 0.0
+    apply_time: float = 0.0
+    matches_found: int = 0
+    matches_deduped: int = 0
+    applications: int = 0  # unions actually performed
+    times_banned: int = 0
+    banned_iterations: int = 0  # iterations skipped while banned
+    skipped_iterations: int = 0  # iterations skipped after the node budget tripped
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RuleProfile":
+        return cls(**data)
+
+
+@dataclass
+class IterationReport:
+    """Statistics of one saturation iteration.
+
+    The first five fields are the legacy ``egraph.runner.IterationReport``
+    surface; the rest is engine telemetry.  ``skipped`` lists rules whose
+    matches were dropped because the node budget tripped mid-apply — they are
+    recorded instead of silently vanishing from ``applied``.
+    """
+
+    iteration: int
+    applied: Dict[str, int] = field(default_factory=dict)
+    num_classes: int = 0
+    num_nodes: int = 0
+    elapsed: float = 0.0
+    skipped: List[str] = field(default_factory=list)
+    banned: List[str] = field(default_factory=list)
+    search_time: float = 0.0
+    apply_time: float = 0.0
+    rebuild_time: float = 0.0
+    matches_found: int = 0
+    matches_deduped: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "IterationReport":
+        return cls(**data)
+
+
+@dataclass
+class SaturationProfile:
+    """Overall result of a saturation run (the legacy ``RunnerReport``)."""
+
+    stop_reason: str
+    iterations: List[IterationReport] = field(default_factory=list)
+    total_time: float = 0.0
+    rules: Dict[str, RuleProfile] = field(default_factory=dict)
+    scheduler: str = "simple"
+    indexed: bool = False
+    dedup: bool = False
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def final_classes(self) -> int:
+        return self.iterations[-1].num_classes if self.iterations else 0
+
+    @property
+    def final_nodes(self) -> int:
+        return self.iterations[-1].num_nodes if self.iterations else 0
+
+    @property
+    def total_matches(self) -> int:
+        return sum(it.matches_found for it in self.iterations)
+
+    @property
+    def total_applications(self) -> int:
+        return sum(sum(it.applied.values()) for it in self.iterations)
+
+    def search_time(self) -> float:
+        return sum(it.search_time for it in self.iterations)
+
+    def apply_time(self) -> float:
+        return sum(it.apply_time for it in self.iterations)
+
+    def rebuild_time(self) -> float:
+        return sum(it.rebuild_time for it in self.iterations)
+
+    def growth_curve(self) -> List[Dict[str, int]]:
+        """Per-iteration (classes, nodes) trajectory for plots and benches."""
+        return [
+            {"iteration": it.iteration, "classes": it.num_classes, "nodes": it.num_nodes}
+            for it in self.iterations
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stop_reason": self.stop_reason,
+            "total_time": self.total_time,
+            "scheduler": self.scheduler,
+            "indexed": self.indexed,
+            "dedup": self.dedup,
+            "num_iterations": self.num_iterations,
+            "final_classes": self.final_classes,
+            "final_nodes": self.final_nodes,
+            "total_matches": self.total_matches,
+            "total_applications": self.total_applications,
+            "search_time": self.search_time(),
+            "apply_time": self.apply_time(),
+            "rebuild_time": self.rebuild_time(),
+            "iterations": [it.to_dict() for it in self.iterations],
+            "rules": {name: rule.to_dict() for name, rule in self.rules.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SaturationProfile":
+        return cls(
+            stop_reason=str(data["stop_reason"]),
+            iterations=[IterationReport.from_dict(it) for it in data.get("iterations", [])],
+            total_time=float(data.get("total_time", 0.0)),
+            rules={
+                name: RuleProfile.from_dict(rule)
+                for name, rule in data.get("rules", {}).items()
+            },
+            scheduler=str(data.get("scheduler", "simple")),
+            indexed=bool(data.get("indexed", False)),
+            dedup=bool(data.get("dedup", False)),
+        )

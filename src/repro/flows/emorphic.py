@@ -48,6 +48,11 @@ class EmorphicConfig:
     rewrite_iterations: int = 5
     max_egraph_nodes: int = 40_000
     rewrite_time_limit: float = 30.0
+    #: Engine knobs: "backoff" bans over-matching rules for exponentially
+    #: growing windows; "simple" searches every rule every iteration.
+    scheduler: str = "backoff"
+    use_op_index: bool = True
+    dedup_matches: bool = True
     # Extraction.
     num_threads: int = 4
     sa_iterations: int = 4
@@ -148,6 +153,7 @@ class EmorphicResult:
             "phase_runtimes": dict(self.phase_runtimes),
             "pass_runtimes": [[name, seconds] for name, seconds in self.pass_runtimes],
             "equivalence": None if self.equivalence is None else self.equivalence.status,
+            "saturation": None if self.rewrite_report is None else self.rewrite_report.to_dict(),
         }
 
 
@@ -195,6 +201,9 @@ def emorphic_pipeline(config: Optional[EmorphicConfig] = None) -> "Pipeline":
                 "iters": config.rewrite_iterations,
                 "max_nodes": config.max_egraph_nodes,
                 "time_limit": config.rewrite_time_limit,
+                "scheduler": config.scheduler,
+                "index": config.use_op_index,
+                "dedup": config.dedup_matches,
             },
             phase="rewriting",
         )

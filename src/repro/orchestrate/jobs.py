@@ -36,7 +36,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
 #: 2: flows run as pass pipelines — phase_runtimes are derived from per-pass
 #:    timings (candidate AIG reconstruction now counts toward extraction,
 #:    not final_map), and results carry pass_runtimes.
-SCHEMA_VERSION = 2
+#: 3: saturation runs on the engine subsystem — EmorphicConfig carries
+#:    scheduler/use_op_index/dedup_matches, and result payloads embed the
+#:    full SaturationProfile under "saturation".
+SCHEMA_VERSION = 3
 
 FLOWS = ("baseline", "emorphic", "pipeline")
 

@@ -28,7 +28,7 @@ from repro.conversion.dag2eg import aig_to_egraph
 from repro.conversion.eg2dag import extraction_to_aig
 from repro.costmodel.abc_cost import MappingCostModel
 from repro.egraph.rules import boolean_rules
-from repro.egraph.runner import Runner, RunnerLimits
+from repro.engine import SCHEDULERS, EngineLimits, SaturationEngine
 from repro.extraction.cost import DepthCost, NodeCountCost
 from repro.extraction.greedy import greedy_extract
 from repro.extraction.parallel import ParallelSAConfig, parallel_sa_extract
@@ -212,16 +212,40 @@ def _pass_dag2eg(ctx: FlowContext) -> None:
 
 @register_pass("saturate", "equality saturation under limits", kind="egraph", requires_egraph=True)
 def _pass_saturate(
-    ctx: FlowContext, iters: int = 5, max_nodes: int = 40_000, time_limit: float = 30.0
+    ctx: FlowContext,
+    iters: int = 5,
+    max_nodes: int = 40_000,
+    time_limit: float = 30.0,
+    scheduler: str = "backoff",
+    index: bool = True,
+    dedup: bool = True,
 ) -> None:
+    """Equality saturation via the engine subsystem.
+
+    ``scheduler="backoff"`` (the default) bans over-matching rules for
+    exponentially growing windows; ``scheduler="simple"`` searches every rule
+    every iteration.  ``index``/``dedup`` toggle op-indexed e-matching and
+    cross-iteration match deduplication — ``saturate(scheduler=simple,
+    dedup=false)`` is byte-for-byte the legacy runner loop.
+    """
     circuit = ctx.require_egraph("saturate")
-    runner = Runner(
+    if scheduler not in SCHEDULERS:
+        raise PipelineError(
+            f"unknown scheduler {scheduler!r}; choose from {', '.join(SCHEDULERS)}"
+        )
+    engine = SaturationEngine(
         circuit.egraph,
         boolean_rules(),
-        RunnerLimits(max_iterations=iters, max_nodes=max_nodes, time_limit=time_limit),
+        EngineLimits(max_iterations=iters, max_nodes=max_nodes, time_limit=time_limit),
+        scheduler=scheduler,
+        use_index=index,
+        dedup_matches=dedup,
     )
-    ctx.rewrite_report = runner.run()
+    ctx.rewrite_report = engine.run()
     ctx.metrics["saturation_stop_reason"] = ctx.rewrite_report.stop_reason
+    ctx.metrics["saturation_scheduler"] = ctx.rewrite_report.scheduler
+    ctx.metrics["saturation_matches"] = ctx.rewrite_report.total_matches
+    ctx.metrics["saturation_applications"] = ctx.rewrite_report.total_applications
     ctx.metrics["egraph_classes"] = circuit.egraph.num_classes
     ctx.metrics["egraph_nodes"] = circuit.egraph.num_nodes
 

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.aig.graph import Aig
 from repro.aig.levels import logic_depth
+from repro.egraph.runner import RunnerReport
 from repro.mapping.cut_mapping import MappingResult
 from repro.mapping.library import Library
 from repro.pipeline.context import FlowContext, PassEndHook, PassStartHook, PipelineError
@@ -115,6 +116,8 @@ class PipelineResult:
     pass_runtimes: List[Tuple[str, float]] = field(default_factory=list)
     metrics: Dict[str, object] = field(default_factory=dict)
     equivalence: Optional[CecResult] = None
+    #: Saturation telemetry when the script ran a ``saturate`` pass.
+    rewrite_report: Optional[RunnerReport] = None
 
     @property
     def levels(self) -> int:
@@ -140,6 +143,7 @@ class PipelineResult:
                 if isinstance(value, (int, float, str, bool, type(None)))
             },
             "equivalence": None if self.equivalence is None else self.equivalence.status,
+            "saturation": None if self.rewrite_report is None else self.rewrite_report.to_dict(),
         }
         if self.mapping is not None:
             data["area"] = self.mapping.area
@@ -272,4 +276,5 @@ class Pipeline:
             pass_runtimes=ctx.pass_runtimes(),
             metrics=dict(ctx.metrics),
             equivalence=ctx.equivalence,
+            rewrite_report=ctx.rewrite_report,
         )
