@@ -9,7 +9,8 @@ level APIs directly:
    scheduling + op-indexed e-matching) and watch the number of equivalence
    classes grow — including the per-rule telemetry of the run;
 3. extract structures with different objectives (node count vs depth) and
-   with the simulated-annealing extractor;
+   with the island-parallel extraction portfolio — including the per-chain
+   accept/reject and migration telemetry of the run;
 4. map every extracted structure and compare post-mapping area/delay —
    demonstrating the structural-bias effect the paper targets.
 
@@ -26,8 +27,8 @@ from repro.conversion.eg2dag import extraction_to_aig
 from repro.egraph.rules import boolean_rules
 from repro.engine import EngineLimits, SaturationEngine
 from repro.extraction.cost import DepthCost, NodeCountCost
+from repro.extraction.engine import PortfolioConfig, portfolio_extract
 from repro.extraction.greedy import greedy_extract
-from repro.extraction.sa import SAExtractor
 from repro.mapping.cut_mapping import map_aig
 from repro.mapping.library import default_library
 from repro.verify.cec import check_equivalence
@@ -71,16 +72,22 @@ def main() -> int:
         "greedy / node count": greedy_extract(circuit.egraph, NodeCountCost()),
         "greedy / depth": greedy_extract(circuit.egraph, DepthCost()),
     }
-    sa = SAExtractor(
+    portfolio = portfolio_extract(
         circuit.egraph,
         circuit.output_classes,
         cost=DepthCost(),
-        moves_per_iteration=4,
-        seed=1,
-    ).run()
-    extractions["simulated annealing"] = sa.extraction
-    print(f"SA extraction improved its structural cost by {100 * sa.improvement:.1f}% "
-          f"({sa.accepted_moves} accepted / {sa.uphill_moves} uphill moves)")
+        config=PortfolioConfig(chains=3, move_budget=96, migrate_every=16, seed=1),
+        seed_solution=circuit.original_extraction(),
+    )
+    extractions["extraction portfolio"] = portfolio.extraction
+    profile = portfolio.profile
+    print(f"portfolio extraction: cost {profile.initial_cost:.0f} -> {profile.best_cost:.0f} "
+          f"(chain {profile.best_chain} wins, {len(profile.migrations)} migrations, "
+          f"{profile.wall_time:.2f} s)")
+    for chain in profile.chains:
+        print(f"  chain {chain.chain_id} [{chain.kind:7s}] best={chain.best_cost:5.0f} "
+              f"accepted={chain.accepted}/{chain.moves} uphill={chain.uphill} "
+              f"mean cone={chain.mean_cone:.1f} classes/move")
 
     # 4. Map every candidate and compare: same function, different QoR.
     print("\npost-mapping comparison of the extracted structures:")

@@ -12,6 +12,9 @@ Subcommands:
 * ``saturate-bench`` — benchmark the saturation engine (legacy loop vs
   op-indexed vs backoff-scheduled) and write ``BENCH_saturation.json``,
   optionally failing on regression against a checked-in reference;
+* ``extract-bench`` — benchmark the extraction engine (legacy SA loop vs
+  delta-cost vs island portfolio, CEC-guarded) and write
+  ``BENCH_extraction.json``, with the same ``--reference`` regression gate;
 * ``list``      — list available benchmark circuits;
 * ``batch``     — run a whole campaign (circuits x flows, or circuits x a
   scripted pipeline via ``--script``) process-parallel with persistent
@@ -69,8 +72,14 @@ def _add_emorphic_args(parser: argparse.ArgumentParser) -> None:
         default=4,
         help="annealing iterations per SA extraction chain",
     )
-    parser.add_argument("--threads", type=int, default=4, help="parallel SA extraction threads")
+    parser.add_argument("--threads", type=int, default=4, help="extraction chains (portfolio) / SA threads (legacy)")
     parser.add_argument("--seed", type=int, default=7, help="base seed of the parallel SA chains")
+    parser.add_argument(
+        "--extraction-engine",
+        default="portfolio",
+        choices=["portfolio", "legacy"],
+        help="extraction engine: island-parallel delta-cost portfolio or the legacy full-sweep SA loop",
+    )
     parser.add_argument(
         "--extraction-cost",
         default="depth",
@@ -93,6 +102,7 @@ def _emorphic_config(args: argparse.Namespace) -> EmorphicConfig:
         sa_iterations=args.sa_iterations,
         num_threads=args.threads,
         seed=args.seed,
+        extraction_engine=args.extraction_engine,
         extraction_cost=args.extraction_cost,
         use_ml_model=args.use_ml_model,
         verify=not args.no_verify,
@@ -231,30 +241,25 @@ def cmd_scripts(_: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------
-# Saturation benchmarking.
+# Engine benchmarking (saturation / extraction).
 
 
-def cmd_saturate_bench(args: argparse.Namespace) -> int:
-    from repro.engine.bench import check_regressions, render_bench, run_saturation_bench
+def _validated_circuits(text: Optional[str]) -> Optional[List[str]]:
+    """Split a --circuits option and reject unknown benchmark names."""
+    if not text:
+        return None
+    circuits = [name.strip() for name in text.split(",") if name.strip()]
+    available = set(epfl.available_circuits())
+    unknown = [name for name in circuits if name not in available]
+    if unknown:
+        raise SystemExit(f"unknown circuits: {', '.join(unknown)}")
+    return circuits
 
-    circuits = None
-    if args.circuits:
-        circuits = [name.strip() for name in args.circuits.split(",") if name.strip()]
-        available = set(epfl.available_circuits())
-        unknown = [name for name in circuits if name not in available]
-        if unknown:
-            raise SystemExit(f"unknown circuits: {', '.join(unknown)}")
-    payload = run_saturation_bench(
-        circuits=circuits,
-        preset=args.preset,
-        fast=args.fast,
-        iters=args.iters,
-        max_nodes=args.max_nodes,
-        time_limit=args.time_limit,
-        check_cec=not args.no_cec,
-        progress=(lambda message: print(f"  {message}", flush=True)),
-    )
-    print(render_bench(payload))
+
+def _bench_epilogue(payload: Dict[str, object], args: argparse.Namespace) -> int:
+    """Shared bench tail: --json payload dump + --reference regression gate."""
+    from repro.engine.bench import check_regressions
+
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -270,6 +275,43 @@ def cmd_saturate_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"no regression vs {args.reference} (threshold {args.max_regression:.1f}x)")
     return 0
+
+
+def cmd_saturate_bench(args: argparse.Namespace) -> int:
+    from repro.engine.bench import render_bench, run_saturation_bench
+
+    payload = run_saturation_bench(
+        circuits=_validated_circuits(args.circuits),
+        preset=args.preset,
+        fast=args.fast,
+        iters=args.iters,
+        max_nodes=args.max_nodes,
+        time_limit=args.time_limit,
+        check_cec=not args.no_cec,
+        progress=(lambda message: print(f"  {message}", flush=True)),
+    )
+    print(render_bench(payload))
+    return _bench_epilogue(payload, args)
+
+
+def cmd_extract_bench(args: argparse.Namespace) -> int:
+    from repro.extraction.engine.bench import render_bench, run_extraction_bench
+
+    payload = run_extraction_bench(
+        circuits=_validated_circuits(args.circuits),
+        preset=args.preset,
+        fast=args.fast,
+        move_budget=args.moves,
+        chains=args.chains,
+        migrate_every=args.migrate_every,
+        seed=args.seed,
+        saturate_iters=args.saturate_iters,
+        max_nodes=args.max_nodes,
+        check_cec=not args.no_cec,
+        progress=(lambda message: print(f"  {message}", flush=True)),
+    )
+    print(render_bench(payload))
+    return _bench_epilogue(payload, args)
 
 
 # --------------------------------------------------------------------------
@@ -544,6 +586,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail when wall-clock exceeds reference by this factor",
     )
     p_bench.set_defaults(func=cmd_saturate_bench)
+
+    p_ebench = sub.add_parser(
+        "extract-bench",
+        help="benchmark the extraction engine (legacy SA vs delta vs portfolio) and "
+        "write BENCH_extraction.json",
+    )
+    p_ebench.add_argument(
+        "--circuits",
+        default=None,
+        help="comma-separated benchmark names (default: the largest benchgen circuits)",
+    )
+    p_ebench.add_argument("--preset", default="bench", choices=["test", "bench"], help="benchmark size preset")
+    p_ebench.add_argument(
+        "--fast",
+        action="store_true",
+        help="CI profile: test-preset circuits, small saturation and move budgets",
+    )
+    p_ebench.add_argument("--moves", type=int, default=None, help="total move budget per variant")
+    p_ebench.add_argument("--chains", type=int, default=4, help="portfolio chains")
+    p_ebench.add_argument("--migrate-every", type=int, default=None, help="moves between migrations")
+    p_ebench.add_argument("--seed", type=int, default=7, help="base seed")
+    p_ebench.add_argument("--saturate-iters", type=int, default=None, help="saturation iterations before extraction")
+    p_ebench.add_argument("--max-nodes", type=int, default=None, help="saturation node cap")
+    p_ebench.add_argument("--no-cec", action="store_true", help="skip the extraction equivalence check")
+    p_ebench.add_argument(
+        "--json", default="BENCH_extraction.json", help="write the payload to this file ('' to skip)"
+    )
+    p_ebench.add_argument(
+        "--reference",
+        default=None,
+        help="compare against this checked-in bench payload and fail on regression",
+    )
+    p_ebench.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when wall-clock exceeds reference by this factor",
+    )
+    p_ebench.set_defaults(func=cmd_extract_bench)
 
     p_batch = sub.add_parser(
         "batch", help="run a campaign of circuits x flows process-parallel with caching"

@@ -1,6 +1,16 @@
-"""E-graph extraction: greedy, random, and simulated-annealing extractors."""
+"""E-graph extraction: greedy, random, simulated-annealing, and the
+island-parallel extraction engine (:mod:`repro.extraction.engine`)."""
 
 from repro.extraction.cost import CostFunction, DepthCost, NodeCountCost, OperatorCost
+from repro.extraction.engine import (
+    ChainSpec,
+    ExtractionProfile,
+    FrozenProblem,
+    PortfolioConfig,
+    PortfolioResult,
+    chain_seed,
+    portfolio_extract,
+)
 from repro.extraction.greedy import extraction_size, greedy_extract
 from repro.extraction.parallel import ParallelSAConfig, parallel_sa_extract
 from repro.extraction.random_extract import random_extract
@@ -20,4 +30,11 @@ __all__ = [
     "generate_neighbor",
     "ParallelSAConfig",
     "parallel_sa_extract",
+    "FrozenProblem",
+    "ChainSpec",
+    "PortfolioConfig",
+    "PortfolioResult",
+    "portfolio_extract",
+    "chain_seed",
+    "ExtractionProfile",
 ]

@@ -1,0 +1,269 @@
+"""Portfolio chains: the per-island move loops of the extraction engine.
+
+A chain is one worker of the island portfolio — simulated annealing under a
+per-chain schedule, a zero-temperature hill climber, or a random-restart
+annealer.  Chains run in *rounds* of ``migrate_every`` moves: a round is a
+pure function of ``(problem, ChainState, moves)``, which is what makes the
+portfolio deterministic regardless of whether rounds execute inline or on a
+``ProcessPoolExecutor`` — the state carries the choice, the rng state, and
+the telemetry counters, and every round rebuilds the evaluator (topological
+order, flip candidates, cost caches) from the bare choice.
+
+Chain kinds:
+
+* ``"sa"``      — Metropolis acceptance with geometric cooling
+  (``T *= cooling`` per move);
+* ``"greedy"``  — accept improving flips only (T = 0 hill climbing);
+* ``"restart"`` — annealing that re-seeds from a fresh random extraction
+  after ``restart_after`` moves without improvement.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.extraction.engine.delta import choice_cost, make_evaluator
+from repro.extraction.engine.problem import Choice, FrozenProblem
+from repro.extraction.engine.telemetry import ChainProfile
+
+CHAIN_KINDS = ("sa", "greedy", "restart")
+
+
+@dataclass(frozen=True)
+class ChainSpec:
+    """Static configuration of one chain (its slot in the portfolio)."""
+
+    kind: str = "sa"
+    initial: str = "greedy"  # "greedy" | "random" | "seed"
+    temperature: float = 8.0
+    cooling: float = 0.97
+    restart_after: int = 48  # kind="restart": stale moves before re-seeding
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAIN_KINDS:
+            raise ValueError(f"unknown chain kind {self.kind!r}; choose from {CHAIN_KINDS}")
+
+
+@dataclass
+class ChainState:
+    """Everything a chain carries between rounds (picklable)."""
+
+    spec: ChainSpec
+    seed: int
+    evaluator: str
+    choice: Choice
+    current_cost: float
+    best_choice: Choice
+    best_cost: float
+    temperature: float
+    rng_state: Tuple
+    since_improvement: int = 0
+    profile: ChainProfile = field(default_factory=lambda: ChainProfile(chain_id=0))
+
+
+def init_chain(
+    problem: FrozenProblem,
+    spec: ChainSpec,
+    seed: int,
+    chain_id: int = 0,
+    evaluator: str = "delta",
+    seed_choice: Optional[Choice] = None,
+    greedy: Optional[Choice] = None,
+) -> ChainState:
+    """Build a chain's initial state from its spec and derived seed.
+
+    ``greedy`` lets the caller share one greedy solve across chains.  A
+    ``"seed"`` start overlays the supplied seed choice on the greedy base;
+    if the overlay turns out cyclic (saturation can merge original classes),
+    the chain falls back to the pure greedy solution.
+    """
+    rng = random.Random(seed)
+    base = greedy if greedy is not None else problem.greedy_choice()
+    if spec.initial == "random":
+        choice = problem.random_choice(rng, fallback=base)
+    elif spec.initial == "seed" and seed_choice:
+        choice = {**base, **seed_choice}
+        try:
+            problem.toposort(choice)
+        except ValueError:
+            choice = dict(base)
+    else:
+        choice = dict(base)
+    cost = choice_cost(problem, choice)
+    profile = ChainProfile(
+        chain_id=chain_id,
+        kind=spec.kind,
+        seed=seed,
+        evaluator=evaluator,
+        initial_cost=cost,
+        best_cost=cost,
+        final_cost=cost,
+        best_curve=[cost],
+    )
+    return ChainState(
+        spec=spec,
+        seed=seed,
+        evaluator=evaluator,
+        choice=choice,
+        current_cost=cost,
+        best_choice=dict(choice),
+        best_cost=cost,
+        temperature=spec.temperature,
+        rng_state=rng.getstate(),
+        profile=profile,
+    )
+
+
+def _flippable(problem: FrozenProblem, choice: Choice, safe: Dict[int, list]) -> list:
+    """Classes worth proposing flips on: cycle-safe alternatives exist AND the
+    class is reachable from the roots under the current choice — flipping an
+    unreachable class cannot change the cost, so the budget concentrates on
+    classes the objective can see.  Recomputed per round (reachability drifts
+    as flips land), deterministic (ascending class ids)."""
+    reachable = set()
+    stack = list(problem.roots)
+    while stack:
+        cid = stack.pop()
+        if cid in reachable:
+            continue
+        reachable.add(cid)
+        stack.extend(problem.children[cid][choice[cid]])
+    return [cid for cid in sorted(reachable) if len(safe.get(cid, ())) > 1]
+
+
+def run_round(problem: FrozenProblem, state: ChainState, moves: int) -> ChainState:
+    """Advance one chain by ``moves`` flips; returns the updated state.
+
+    Pure up to the state it returns: rebuilds the topological order, the
+    cycle-safe flip candidates, and the cost evaluator from ``state.choice``,
+    restores the rng, and never reads process-local state — so a round
+    computes the identical result inline and inside a pool worker.
+    """
+    start = time.perf_counter()
+    spec = state.spec
+    rng = random.Random()
+    rng.setstate(state.rng_state)
+
+    order = problem.toposort(state.choice)
+    safe = problem.flip_candidates(order)
+    flippable = _flippable(problem, state.choice, safe)
+    evaluator = make_evaluator(state.evaluator, problem, state.choice, order=order)
+    current = evaluator.cost
+
+    best_choice = state.best_choice
+    best_cost = state.best_cost
+    temperature = state.temperature
+    since_improvement = state.since_improvement
+    profile = state.profile
+    accepted = rejected = uphill = restarts = executed = 0
+
+    for _ in range(moves if flippable else 0):
+        executed += 1
+        cid = flippable[rng.randrange(len(flippable))]
+        old_idx = evaluator.choice[cid]
+        alternatives = safe[cid]
+        # Draw among the other cycle-safe candidates of the class.
+        pick = alternatives[rng.randrange(len(alternatives) - 1)]
+        if pick == old_idx:
+            pick = alternatives[-1]
+        new_cost = evaluator.flip(cid, pick)
+        delta = new_cost - current
+        take = delta <= 0
+        if not take and spec.kind != "greedy" and temperature > 0:
+            take = rng.random() < math.exp(-delta / temperature)
+            if take:
+                uphill += 1
+        if take:
+            current = new_cost
+            accepted += 1
+            if current < best_cost:
+                best_cost = current
+                best_choice = dict(evaluator.choice)
+                since_improvement = 0
+            else:
+                since_improvement += 1
+        else:
+            evaluator.flip(cid, old_idx)
+            rejected += 1
+            since_improvement += 1
+        if spec.kind != "greedy":
+            temperature *= spec.cooling
+        if spec.kind == "restart" and since_improvement >= spec.restart_after:
+            # Re-seed from a fresh random extraction: new order, new cones.
+            restarts += 1
+            since_improvement = 0
+            temperature = spec.temperature
+            fresh = problem.random_choice(rng, fallback=best_choice)
+            order = problem.toposort(fresh)
+            safe = problem.flip_candidates(order)
+            flippable = _flippable(problem, fresh, safe)
+            evals, touched = evaluator.evals, evaluator.touched
+            evaluator = make_evaluator(state.evaluator, problem, fresh, order=order)
+            evaluator.evals, evaluator.touched = evals, touched
+            current = evaluator.cost
+            if current < best_cost:
+                best_cost = current
+                best_choice = dict(fresh)
+            if not flippable:
+                break
+
+    elapsed = time.perf_counter() - start
+    profile = replace(
+        profile,
+        best_cost=best_cost,
+        final_cost=current,
+        moves=profile.moves + executed,
+        accepted=profile.accepted + accepted,
+        rejected=profile.rejected + rejected,
+        uphill=profile.uphill + uphill,
+        restarts=profile.restarts + restarts,
+        evals=profile.evals + evaluator.evals,
+        classes_touched=profile.classes_touched + evaluator.touched,
+        wall_time=profile.wall_time + elapsed,
+        best_curve=profile.best_curve + [best_cost],
+        accept_curve=profile.accept_curve + [accepted],
+        reject_curve=profile.reject_curve + [rejected],
+    )
+    return ChainState(
+        spec=spec,
+        seed=state.seed,
+        evaluator=state.evaluator,
+        choice=dict(evaluator.choice),
+        current_cost=current,
+        best_choice=best_choice,
+        best_cost=best_cost,
+        temperature=temperature,
+        rng_state=rng.getstate(),
+        since_improvement=since_improvement,
+        profile=profile,
+    )
+
+
+def adopt_solution(state: ChainState, choice: Choice, cost: float) -> ChainState:
+    """Island migration: replace the chain's *current* solution.
+
+    The chain keeps its rng, schedule, and its own best-so-far bookkeeping
+    (the portfolio tracks the global best separately); the next round rebuilds
+    order and evaluator state from the adopted choice.
+    """
+    profile = replace(state.profile, migrations_received=state.profile.migrations_received + 1)
+    best_choice, best_cost = state.best_choice, state.best_cost
+    if cost < best_cost:
+        best_choice, best_cost = dict(choice), cost
+    return ChainState(
+        spec=state.spec,
+        seed=state.seed,
+        evaluator=state.evaluator,
+        choice=dict(choice),
+        current_cost=cost,
+        best_choice=best_choice,
+        best_cost=best_cost,
+        temperature=state.temperature,
+        rng_state=state.rng_state,
+        since_improvement=0,
+        profile=profile,
+    )

@@ -16,12 +16,21 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.egraph.egraph import EGraph, ENode
 from repro.extraction.cost import CostFunction, NodeCountCost
+from repro.extraction.engine.portfolio import chain_seed
 from repro.extraction.sa import AnnealingSchedule, QoREvaluator, SAExtractor, SAResult
 
 
 @dataclass
 class ParallelSAConfig:
-    """Configuration of the parallel extraction stage."""
+    """Configuration of the parallel extraction stage.
+
+    ``seed`` is the *base* seed: chain ``i`` runs under
+    :func:`repro.extraction.engine.chain_seed`\\ ``(seed, i)`` — a documented
+    per-chain derivation shared with the portfolio engine (chain 0 runs the
+    base seed, later chains a fixed stride apart) — so chains explore
+    distinct trajectories and the best returned extraction is deterministic
+    per (base seed, thread count).
+    """
 
     num_threads: int = 4
     moves_per_iteration: int = 8
@@ -66,7 +75,7 @@ def parallel_sa_extract(
             schedule=config.schedule,
             moves_per_iteration=config.moves_per_iteration,
             p_random=config.p_random,
-            seed=config.seed + index * 1009,
+            seed=chain_seed(config.seed, index),
             initial=strategy,
             pruned=config.pruned,
             seed_solution=seed_solution,

@@ -54,13 +54,18 @@ class EmorphicConfig:
     use_op_index: bool = True
     dedup_matches: bool = True
     # Extraction.
-    num_threads: int = 4
+    #: "portfolio" = island-parallel delta-cost engine (chains guided by the
+    #: structural cost, QoR model re-scores each chain's best); "legacy" =
+    #: the original per-move full-sweep SA loop.
+    extraction_engine: str = "portfolio"
+    num_threads: int = 4  # portfolio chains / legacy SA threads
+    migrate_every: int = 8  # portfolio: moves between best-solution migrations
     sa_iterations: int = 4
     initial_temperature: float = 2000.0
     moves_per_iteration: int = 4
     p_random: float = 0.1
     pruned: bool = True
-    seed: int = 7  # base seed of the parallel SA chains
+    seed: int = 7  # base seed of the chains (chain i runs chain_seed(seed, i))
     extraction_cost: str = "depth"  # guiding cost inside Algorithm 1
     # Cost model.
     use_ml_model: bool = False
@@ -134,6 +139,8 @@ class EmorphicResult:
     baseline_delay_before_resynthesis: float = 0.0
     equivalence: Optional[CecResult] = None
     pass_runtimes: List[Tuple[str, float]] = field(default_factory=list)
+    #: Extraction-engine telemetry (portfolio engine only).
+    extraction_profile: Optional[object] = None
 
     def runtime_breakdown(self) -> Dict[str, float]:
         """The three components plotted in Fig. 9."""
@@ -154,6 +161,7 @@ class EmorphicResult:
             "pass_runtimes": [[name, seconds] for name, seconds in self.pass_runtimes],
             "equivalence": None if self.equivalence is None else self.equivalence.status,
             "saturation": None if self.rewrite_report is None else self.rewrite_report.to_dict(),
+            "extraction": None if self.extraction_profile is None else self.extraction_profile.to_dict(),
         }
 
 
@@ -213,8 +221,10 @@ def emorphic_pipeline(config: Optional[EmorphicConfig] = None) -> "Pipeline":
             "extract",
             {
                 "method": "sa",
+                "engine": config.extraction_engine,
                 # The runtime-prioritized (ML) mode runs two extra chains.
                 "threads": config.num_threads + (2 if config.use_ml_model else 0),
+                "migrate_every": config.migrate_every,
                 "iters": config.sa_iterations,
                 "moves": config.moves_per_iteration,
                 "p_random": config.p_random,
@@ -282,4 +292,5 @@ def run_emorphic_flow(
         baseline_delay_before_resynthesis=ctx.pre_mapping.delay,
         equivalence=ctx.equivalence,
         pass_runtimes=ctx.pass_runtimes(),
+        extraction_profile=ctx.extraction_profile,
     )

@@ -39,7 +39,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
 #: 3: saturation runs on the engine subsystem — EmorphicConfig carries
 #:    scheduler/use_op_index/dedup_matches, and result payloads embed the
 #:    full SaturationProfile under "saturation".
-SCHEMA_VERSION = 3
+#: 4: extraction runs on the island-parallel portfolio engine by default —
+#:    EmorphicConfig carries extraction_engine/migrate_every, and result
+#:    payloads embed the ExtractionProfile under "extraction".
+SCHEMA_VERSION = 4
 
 FLOWS = ("baseline", "emorphic", "pipeline")
 

@@ -60,6 +60,8 @@ class FlowContext:
     pre_aig: Optional[Aig] = None
     mapping: Optional[MappingResult] = None
     rewrite_report: Optional[RunnerReport] = None
+    #: Extraction-engine telemetry; set by ``extract(sa, engine=portfolio)``.
+    extraction_profile: Optional[object] = None
     equivalence: Optional[CecResult] = None
     #: Optional learned cost model consumed by ``extract(use_ml=true)``.
     ml_model: Optional[object] = None

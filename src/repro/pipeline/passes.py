@@ -30,6 +30,7 @@ from repro.costmodel.abc_cost import MappingCostModel
 from repro.egraph.rules import boolean_rules
 from repro.engine import SCHEDULERS, EngineLimits, SaturationEngine
 from repro.extraction.cost import DepthCost, NodeCountCost
+from repro.extraction.engine import PortfolioConfig, portfolio_extract
 from repro.extraction.greedy import greedy_extract
 from repro.extraction.parallel import ParallelSAConfig, parallel_sa_extract
 from repro.extraction.random_extract import random_extract
@@ -260,7 +261,11 @@ def _pass_saturate(
 def _pass_extract(
     ctx: FlowContext,
     method: str = "sa",
+    engine: str = "portfolio",
     threads: int = 4,
+    chains: int = 0,
+    migrate_every: int = 0,
+    workers: int = 0,
     iters: int = 4,
     moves: int = 4,
     p_random: float = 0.1,
@@ -270,11 +275,29 @@ def _pass_extract(
     pruned: bool = True,
     use_ml: bool = False,
 ) -> None:
+    """E-graph extraction.
+
+    ``method="sa"`` runs under one of two engines: ``engine="portfolio"``
+    (the default) is the island-parallel portfolio with delta-cost move
+    evaluation — the structural ``cost`` guides the chains and the expensive
+    QoR evaluator (mapping, or the learned model with ``use_ml``) re-scores
+    only each chain's best extraction; ``engine="legacy"`` is the original
+    per-move full-sweep loop that pays the QoR evaluator on *every* move.
+    ``chains`` defaults to ``threads``; the portfolio's total move budget is
+    ``iters * moves`` per chain, matching the legacy loop's schedule.
+    ``workers=0`` (the default) runs the portfolio chains inline — at
+    flow-scale move budgets pool startup would dominate, and orchestrate
+    campaigns already parallelise across jobs; results are identical either
+    way, so ``workers=N`` is purely a throughput knob for big budgets.
+    ``p_random``/``temperature``/``pruned`` only shape the legacy loop.
+    """
     circuit = ctx.require_egraph("extract")
     if method not in EXTRACT_METHODS:
         raise PipelineError(
             f"unknown extraction method {method!r}; choose from {', '.join(EXTRACT_METHODS)}"
         )
+    if engine not in ("portfolio", "legacy"):
+        raise PipelineError(f"unknown extraction engine {engine!r}; choose portfolio or legacy")
     guiding = DepthCost() if cost == "depth" else NodeCountCost()
 
     if method == "sa":
@@ -282,6 +305,7 @@ def _pass_extract(
         if use_ml:
             model = ctx.ml_model if ctx.ml_model is not None else _default_ml_model()
         ctx.metrics["extraction_evaluator"] = "ml" if model is not None else "mapping"
+        ctx.metrics["extraction_engine"] = engine
         if model is not None:
 
             def qor_evaluator(extraction):
@@ -293,23 +317,56 @@ def _pass_extract(
             def qor_evaluator(extraction):
                 return qor_model.cost_of_aig(extraction_to_aig(circuit, extraction, name="candidate"))
 
-        sa_config = ParallelSAConfig(
-            num_threads=threads,
-            moves_per_iteration=moves,
-            p_random=p_random,
-            schedule=AnnealingSchedule(initial_temperature=temperature, num_iterations=iters),
-            seed=seed,
-            pruned=pruned,
-        )
-        results = parallel_sa_extract(
-            circuit.egraph,
-            list(circuit.output_classes),
-            cost=guiding,
-            qor_evaluator=qor_evaluator,
-            config=sa_config,
-            seed_solution=circuit.original_extraction(),
-        )
-        extractions = [result.extraction for result in results]
+        if engine == "portfolio":
+            num_chains = chains or threads
+            config = PortfolioConfig(
+                chains=num_chains,
+                move_budget=iters * moves * num_chains,
+                migrate_every=migrate_every or max(1, (iters * moves) // 2),
+                seed=seed,
+                workers=workers,
+            )
+            # The ML evaluator is cheap, so it re-scores every chain's best
+            # extraction here; with the mapping evaluator the downstream
+            # ``map`` pass already maps every candidate and keeps the best,
+            # so a selector pass would just pay the mapper twice.
+            result = portfolio_extract(
+                circuit.egraph,
+                list(circuit.output_classes),
+                cost=guiding,
+                config=config,
+                seed_solution=circuit.original_extraction(),
+                final_selector=qor_evaluator if model is not None else None,
+            )
+            ctx.extraction_profile = result.profile
+            ctx.metrics["extraction_moves"] = result.profile.total_moves
+            ctx.metrics["extraction_best_cost"] = result.cost
+            # Chains can converge (migration); dedup identical extractions
+            # so the map pass doesn't pay for the same candidate twice.
+            extractions, seen = [], set()
+            for extraction in result.chain_extractions:
+                key = frozenset(extraction.items())
+                if key not in seen:
+                    seen.add(key)
+                    extractions.append(extraction)
+        else:
+            sa_config = ParallelSAConfig(
+                num_threads=threads,
+                moves_per_iteration=moves,
+                p_random=p_random,
+                schedule=AnnealingSchedule(initial_temperature=temperature, num_iterations=iters),
+                seed=seed,
+                pruned=pruned,
+            )
+            results = parallel_sa_extract(
+                circuit.egraph,
+                list(circuit.output_classes),
+                cost=guiding,
+                qor_evaluator=qor_evaluator,
+                config=sa_config,
+                seed_solution=circuit.original_extraction(),
+            )
+            extractions = [result.extraction for result in results]
     elif method == "greedy":
         extractions = [greedy_extract(circuit.egraph, cost=guiding)]
     else:  # random

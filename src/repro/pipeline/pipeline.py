@@ -118,6 +118,8 @@ class PipelineResult:
     equivalence: Optional[CecResult] = None
     #: Saturation telemetry when the script ran a ``saturate`` pass.
     rewrite_report: Optional[RunnerReport] = None
+    #: Extraction-engine telemetry when the script ran a portfolio ``extract``.
+    extraction_profile: Optional[object] = None
 
     @property
     def levels(self) -> int:
@@ -144,6 +146,7 @@ class PipelineResult:
             },
             "equivalence": None if self.equivalence is None else self.equivalence.status,
             "saturation": None if self.rewrite_report is None else self.rewrite_report.to_dict(),
+            "extraction": None if self.extraction_profile is None else self.extraction_profile.to_dict(),
         }
         if self.mapping is not None:
             data["area"] = self.mapping.area
@@ -277,4 +280,5 @@ class Pipeline:
             metrics=dict(ctx.metrics),
             equivalence=ctx.equivalence,
             rewrite_report=ctx.rewrite_report,
+            extraction_profile=ctx.extraction_profile,
         )

@@ -1,0 +1,398 @@
+"""Tests of the extraction engine: frozen problem, delta-cost parity,
+portfolio determinism, migration, telemetry, and the extraction bench."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.aig.simulate import random_simulate
+from repro.benchgen import control, epfl
+from repro.conversion.dag2eg import aig_to_egraph
+from repro.conversion.eg2dag import extraction_to_aig
+from repro.egraph.language import AND, OR
+from repro.egraph.egraph import EGraph
+from repro.egraph.rules import boolean_rules
+from repro.engine import EngineLimits, SaturationEngine
+from repro.extraction.cost import DepthCost, NodeCountCost, extraction_cost
+from repro.extraction.engine import (
+    ChainSpec,
+    ExtractionProfile,
+    FrozenProblem,
+    PortfolioConfig,
+    chain_seed,
+    choice_cost,
+    init_chain,
+    make_evaluator,
+    portfolio_extract,
+    run_round,
+)
+from repro.extraction.engine.bench import check_regressions, render_bench, run_extraction_bench
+from repro.extraction.greedy import greedy_extract
+from repro.extraction.parallel import ParallelSAConfig, parallel_sa_extract
+
+
+@pytest.fixture(scope="module")
+def saturated_circuit():
+    """A saturated e-graph of a small circuit, shared across engine tests."""
+    aig = epfl.build("sqrt", preset="test")
+    circuit = aig_to_egraph(aig)
+    SaturationEngine(
+        circuit.egraph,
+        boolean_rules(),
+        EngineLimits(max_iterations=2, max_nodes=10_000, time_limit=20.0),
+    ).run()
+    return aig, circuit
+
+
+def _random_saturated(seed: int):
+    """A randomized circuit (varying seed) saturated into a choice-rich e-graph."""
+    aig = control.random_control(num_inputs=10, num_outputs=6, terms_per_output=4, seed=seed)
+    circuit = aig_to_egraph(aig)
+    SaturationEngine(
+        circuit.egraph,
+        boolean_rules(),
+        EngineLimits(max_iterations=2, max_nodes=4_000, time_limit=10.0),
+    ).run()
+    return aig, circuit
+
+
+class TestFrozenProblem:
+    def test_candidates_and_roundtrip(self, saturated_circuit):
+        _, circuit = saturated_circuit
+        problem = FrozenProblem.build(circuit.egraph, circuit.output_classes, NodeCountCost())
+        assert problem.num_classes == circuit.egraph.num_classes
+        assert problem.num_nodes <= circuit.egraph.num_nodes
+        extraction = greedy_extract(circuit.egraph, NodeCountCost())
+        choice = problem.choice_from_extraction(extraction)
+        back = problem.extraction_from_choice(choice)
+        assert back == {cid: extraction[cid] for cid in choice}
+
+    def test_greedy_choice_matches_greedy_extract_cost(self, saturated_circuit):
+        _, circuit = saturated_circuit
+        for cost in (NodeCountCost(), DepthCost()):
+            problem = FrozenProblem.build(circuit.egraph, circuit.output_classes, cost)
+            choice = problem.greedy_choice()
+            frozen_cost = choice_cost(problem, choice)
+            legacy = greedy_extract(circuit.egraph, cost)
+            legacy_cost = extraction_cost(circuit.egraph, legacy, cost, circuit.output_classes)
+            assert frozen_cost == pytest.approx(legacy_cost)
+
+    def test_choice_cost_matches_extraction_cost(self, saturated_circuit):
+        _, circuit = saturated_circuit
+        for cost in (NodeCountCost(), DepthCost()):
+            problem = FrozenProblem.build(circuit.egraph, circuit.output_classes, cost)
+            choice = problem.random_choice(random.Random(3), fallback=problem.greedy_choice())
+            extraction = problem.extraction_from_choice(choice)
+            assert choice_cost(problem, choice) == pytest.approx(
+                extraction_cost(circuit.egraph, extraction, cost, circuit.output_classes)
+            )
+
+    def test_toposort_rejects_cycles(self):
+        eg = EGraph()
+        a, b = eg.var("a"), eg.var("b")
+        x = eg.add_term(AND, [a, b])
+        y = eg.add_term(OR, [x, a])
+        eg.union(x, y)
+        eg.rebuild()
+        problem = FrozenProblem.build(eg, [eg.find(x)], NodeCountCost())
+        root = eg.find(x)
+        # Choose the OR node, whose child is the class itself after the union.
+        cyclic_idx = next(
+            i for i, kids in enumerate(problem.children[root]) if root in kids
+        )
+        choice = problem.greedy_choice()
+        choice[root] = cyclic_idx
+        with pytest.raises(ValueError, match="cyclic"):
+            problem.toposort(choice)
+
+    def test_flip_candidates_are_order_respecting(self, saturated_circuit):
+        _, circuit = saturated_circuit
+        problem = FrozenProblem.build(circuit.egraph, circuit.output_classes, DepthCost())
+        choice = problem.greedy_choice()
+        order = problem.toposort(choice)
+        safe = problem.flip_candidates(order)
+        for cid, indices in safe.items():
+            assert choice[cid] in indices  # the current choice is always safe
+            for i in indices:
+                assert all(order[ch] < order[cid] for ch in problem.children[cid][i])
+
+
+class TestDeltaFullParity:
+    @pytest.mark.parametrize("cost_cls", [NodeCountCost, DepthCost])
+    @pytest.mark.parametrize("circuit_seed", [1, 2, 3])
+    def test_identical_trajectories_on_random_circuits(self, cost_cls, circuit_seed):
+        """The tentpole parity contract: the delta-cost engine, the legacy
+        full-sweep reference, and the portfolio with one chain return the
+        identical cost and extraction for identical seeds."""
+        _, circuit = _random_saturated(circuit_seed)
+        results = {}
+        for evaluator in ("delta", "full"):
+            results[evaluator] = portfolio_extract(
+                circuit.egraph,
+                circuit.output_classes,
+                cost=cost_cls(),
+                config=PortfolioConfig(
+                    chains=1, move_budget=96, migrate_every=24, seed=11, evaluator=evaluator, workers=0
+                ),
+                seed_solution=circuit.original_extraction(),
+            )
+        assert results["delta"].cost == results["full"].cost
+        assert results["delta"].extraction == results["full"].extraction
+        delta_curve = results["delta"].profile.chains[0].best_curve
+        full_curve = results["full"].profile.chains[0].best_curve
+        assert delta_curve == full_curve
+
+    def test_flip_values_agree_move_by_move(self, saturated_circuit):
+        _, circuit = saturated_circuit
+        for cost in (NodeCountCost(), DepthCost()):
+            problem = FrozenProblem.build(circuit.egraph, circuit.output_classes, cost)
+            choice = problem.greedy_choice()
+            order = problem.toposort(choice)
+            safe = problem.flip_candidates(order)
+            flippable = [cid for cid in sorted(safe) if len(safe[cid]) > 1]
+            delta = make_evaluator("delta", problem, choice, order=order)
+            full = make_evaluator("full", problem, choice)
+            assert delta.cost == full.cost
+            rng = random.Random(5)
+            for _ in range(60):
+                cid = flippable[rng.randrange(len(flippable))]
+                pick = safe[cid][rng.randrange(len(safe[cid]))]
+                assert delta.flip(cid, pick) == full.flip(cid, pick)
+
+    def test_delta_is_cheaper_than_full(self, saturated_circuit):
+        _, circuit = saturated_circuit
+        result = portfolio_extract(
+            circuit.egraph,
+            circuit.output_classes,
+            cost=DepthCost(),
+            config=PortfolioConfig(chains=1, move_budget=32, migrate_every=8, workers=0),
+        )
+        # A delta move touches a cone, not the whole class set.
+        assert 0 < result.profile.mean_cone() < circuit.egraph.num_classes / 4
+
+
+class TestPortfolio:
+    def test_extraction_is_functionally_correct(self, saturated_circuit):
+        aig, circuit = saturated_circuit
+        result = portfolio_extract(
+            circuit.egraph,
+            circuit.output_classes,
+            cost=DepthCost(),
+            config=PortfolioConfig(chains=3, move_budget=48, migrate_every=8, workers=0),
+            seed_solution=circuit.original_extraction(),
+        )
+        back = extraction_to_aig(circuit, result.extraction)
+        assert random_simulate(aig, 4, seed=7) == random_simulate(back, 4, seed=7)
+        assert result.cost == pytest.approx(
+            extraction_cost(circuit.egraph, result.extraction, DepthCost(), circuit.output_classes)
+        )
+
+    def test_never_worse_than_initial(self, saturated_circuit):
+        _, circuit = saturated_circuit
+        result = portfolio_extract(
+            circuit.egraph,
+            circuit.output_classes,
+            cost=NodeCountCost(),
+            config=PortfolioConfig(chains=2, move_budget=32, migrate_every=8, workers=0),
+        )
+        assert result.cost <= result.profile.initial_cost + 1e-9
+
+    def test_inline_and_process_pool_agree(self, saturated_circuit):
+        """Cross-process determinism: the pool is throughput, not semantics."""
+        _, circuit = saturated_circuit
+        outcomes = []
+        for workers in (0, 2):
+            result = portfolio_extract(
+                circuit.egraph,
+                circuit.output_classes,
+                cost=DepthCost(),
+                config=PortfolioConfig(
+                    chains=2, move_budget=24, migrate_every=8, seed=13, workers=workers
+                ),
+            )
+            outcomes.append((result.cost, result.extraction))
+        assert outcomes[0] == outcomes[1]
+
+    def test_deterministic_per_seed(self, saturated_circuit):
+        _, circuit = saturated_circuit
+        runs = [
+            portfolio_extract(
+                circuit.egraph,
+                circuit.output_classes,
+                cost=NodeCountCost(),
+                config=PortfolioConfig(chains=2, move_budget=24, migrate_every=8, seed=9, workers=0),
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].cost == runs[1].cost
+        assert runs[0].extraction == runs[1].extraction
+
+    def test_chain_seeds_are_distinct(self, saturated_circuit):
+        _, circuit = saturated_circuit
+        result = portfolio_extract(
+            circuit.egraph,
+            circuit.output_classes,
+            cost=NodeCountCost(),
+            config=PortfolioConfig(chains=3, move_budget=24, migrate_every=8, seed=5, workers=0),
+        )
+        seeds = [chain.seed for chain in result.profile.chains]
+        assert seeds == [chain_seed(5, i) for i in range(3)]
+        assert len(set(seeds)) == 3
+
+    def test_migration_events_recorded(self, saturated_circuit):
+        _, circuit = saturated_circuit
+        # A hot random-start chain next to a greedy-start chain: the laggard
+        # adopts the leader's solution at a migration barrier.
+        specs = (
+            ChainSpec(kind="sa", initial="greedy", temperature=0.1, cooling=0.9),
+            ChainSpec(kind="sa", initial="random", temperature=64.0, cooling=1.0),
+        )
+        result = portfolio_extract(
+            circuit.egraph,
+            circuit.output_classes,
+            cost=NodeCountCost(),
+            config=PortfolioConfig(
+                chains=2, move_budget=64, migrate_every=8, seed=3, workers=0, chain_specs=specs
+            ),
+        )
+        assert result.profile.migrations
+        event = result.profile.migrations[0]
+        assert event.target_chain != event.source_chain
+        received = result.profile.chains[event.target_chain].migrations_received
+        assert received >= 1
+
+    def test_final_selector_rescored(self, saturated_circuit):
+        _, circuit = saturated_circuit
+        calls = []
+
+        def selector(extraction):
+            calls.append(1)
+            return float(len(extraction))
+
+        result = portfolio_extract(
+            circuit.egraph,
+            circuit.output_classes,
+            cost=NodeCountCost(),
+            config=PortfolioConfig(chains=2, move_budget=16, migrate_every=8, workers=0),
+            final_selector=selector,
+        )
+        assert len(calls) == 2
+        assert result.profile.selector == "external"
+        assert result.chain_costs == sorted(result.chain_costs)
+
+    def test_single_chain_runs_and_matches_manual_rounds(self, saturated_circuit):
+        """chains=1 is exactly the single-chain engine: the portfolio adds
+        nothing but the round structure."""
+        _, circuit = saturated_circuit
+        cost = DepthCost()
+        config = PortfolioConfig(chains=1, move_budget=24, migrate_every=8, seed=21, workers=0)
+        result = portfolio_extract(circuit.egraph, circuit.output_classes, cost=cost, config=config)
+        problem = FrozenProblem.build(circuit.egraph, circuit.output_classes, cost)
+        state = init_chain(
+            problem, config.spec_for(0), chain_seed(21, 0), evaluator="delta",
+            greedy=problem.greedy_choice(),
+        )
+        for _ in range(3):
+            state = run_round(problem, state, 8)
+        assert state.best_cost == result.cost
+        assert problem.extraction_from_choice(state.best_choice) == result.extraction
+
+
+class TestParallelSASeeding:
+    def test_parallel_sa_deterministic_best(self, saturated_circuit):
+        _, circuit = saturated_circuit
+        config = ParallelSAConfig(num_threads=3, moves_per_iteration=2, seed=17)
+        runs = [
+            parallel_sa_extract(
+                circuit.egraph, circuit.output_classes, NodeCountCost(), config=config
+            )
+            for _ in range(2)
+        ]
+        assert runs[0][0].cost == runs[1][0].cost
+        assert runs[0][0].extraction == runs[1][0].extraction
+
+    def test_chain_seed_derivation(self):
+        assert chain_seed(7, 0) == 7
+        assert chain_seed(7, 1) != chain_seed(7, 0)
+        assert len({chain_seed(7, i) for i in range(16)}) == 16
+
+
+class TestConfigValidation:
+    def test_rejects_non_progressing_rounds(self):
+        with pytest.raises(ValueError, match="migrate_every"):
+            PortfolioConfig(migrate_every=0)
+        with pytest.raises(ValueError, match="move_budget"):
+            PortfolioConfig(move_budget=-1)
+        with pytest.raises(ValueError, match="chain"):
+            PortfolioConfig(chains=0)
+        with pytest.raises(ValueError, match="evaluator"):
+            PortfolioConfig(evaluator="magic")
+
+
+class TestTelemetry:
+    def test_profile_roundtrip_and_json(self, saturated_circuit):
+        _, circuit = saturated_circuit
+        result = portfolio_extract(
+            circuit.egraph,
+            circuit.output_classes,
+            cost=DepthCost(),
+            config=PortfolioConfig(chains=2, move_budget=16, migrate_every=8, workers=0),
+        )
+        payload = result.profile.to_dict()
+        text = json.dumps(payload)  # must be plain JSON
+        back = ExtractionProfile.from_dict(json.loads(text))
+        assert back.best_cost == result.profile.best_cost
+        assert back.num_chains == result.profile.num_chains
+        assert [c.to_dict() for c in back.chains] == [c.to_dict() for c in result.profile.chains]
+        assert len(back.chains[0].accept_curve) == len(back.chains[0].reject_curve)
+
+    def test_chain_curves_cover_rounds(self, saturated_circuit):
+        _, circuit = saturated_circuit
+        result = portfolio_extract(
+            circuit.egraph,
+            circuit.output_classes,
+            cost=DepthCost(),
+            config=PortfolioConfig(chains=1, move_budget=24, migrate_every=8, workers=0),
+        )
+        chain = result.profile.chains[0]
+        assert len(chain.best_curve) == 1 + 3  # initial + one entry per round
+        assert chain.best_curve[-1] == chain.best_cost
+        assert sum(chain.accept_curve) + sum(chain.reject_curve) == chain.moves
+
+
+class TestExtractionBench:
+    def test_fast_bench_payload(self):
+        payload = run_extraction_bench(
+            circuits=["adder"],
+            fast=True,
+            move_budget=12,
+            chains=2,
+            saturate_iters=2,
+            max_nodes=2_000,
+            check_cec=True,
+        )
+        entry = payload["circuits"]["adder"]
+        assert set(entry["runs"]) == {"legacy", "delta", "portfolio"}
+        for run in entry["runs"].values():
+            assert run["wall_time"] > 0
+            assert run["extraction_cec"] == "equivalent"
+        assert set(entry["speedup"]) == {"delta", "portfolio"}
+        assert "geomean_speedup" in payload["summary"]
+        assert "adder" in render_bench(payload)
+
+    def test_check_regressions_gate(self):
+        payload = {
+            "circuits": {
+                "adder": {"runs": {"portfolio": {"wall_time": 10.0, "extraction_cec": "equivalent"}}}
+            }
+        }
+        reference = {
+            "circuits": {
+                "adder": {"runs": {"portfolio": {"wall_time": 1.0, "extraction_cec": "equivalent"}}}
+            }
+        }
+        assert check_regressions(payload, reference, max_ratio=2.0)
+        assert not check_regressions(payload, reference, max_ratio=20.0)
