@@ -12,7 +12,10 @@ level APIs directly:
    with the island-parallel extraction portfolio — including the per-chain
    accept/reject and migration telemetry of the run;
 4. map every extracted structure and compare post-mapping area/delay —
-   demonstrating the structural-bias effect the paper targets.
+   demonstrating the structural-bias effect the paper targets;
+5. the whole exploration runs under a trace (`repro.obs`): the span tree is
+   pretty-printed at the end and exported as Chrome trace-event JSON,
+   loadable in https://ui.perfetto.dev.
 
 Run with::
 
@@ -31,6 +34,7 @@ from repro.extraction.engine import PortfolioConfig, portfolio_extract
 from repro.extraction.greedy import greedy_extract
 from repro.mapping.cut_mapping import map_aig
 from repro.mapping.library import default_library
+from repro.obs import tracing, write_chrome_trace
 from repro.verify.cec import check_equivalence
 
 
@@ -50,13 +54,30 @@ def main() -> int:
 
     # 2. Equality saturation, a few iterations (the paper uses 5), on the
     #    engine: backoff scheduling + op-indexed e-matching + match dedup.
-    engine = SaturationEngine(
-        circuit.egraph,
-        boolean_rules(),
-        EngineLimits(max_iterations=4, max_nodes=20_000, time_limit=20.0),
-        scheduler="backoff",
-    )
-    profile = engine.run()
+    #    Steps 2 and 3 run under a tracer, so every engine phase (per-rule
+    #    search/apply, portfolio rounds and chains) lands in one span tree.
+    with tracing() as tracer:
+        engine = SaturationEngine(
+            circuit.egraph,
+            boolean_rules(),
+            EngineLimits(max_iterations=4, max_nodes=20_000, time_limit=20.0),
+            scheduler="backoff",
+        )
+        profile = engine.run()
+
+        # 3. Extraction with different objectives.
+        extractions = {
+            "greedy / node count": greedy_extract(circuit.egraph, NodeCountCost()),
+            "greedy / depth": greedy_extract(circuit.egraph, DepthCost()),
+        }
+        portfolio = portfolio_extract(
+            circuit.egraph,
+            circuit.output_classes,
+            cost=DepthCost(),
+            config=PortfolioConfig(chains=3, move_budget=96, migrate_every=16, seed=1),
+            seed_solution=circuit.original_extraction(),
+        )
+
     print(f"after rewriting ({profile.stop_reason}, scheduler={profile.scheduler}):")
     for it in profile.iterations:
         print(f"  iteration {it.iteration}: {it.num_classes} classes, {it.num_nodes} e-nodes "
@@ -66,19 +87,6 @@ def main() -> int:
     for rule in busiest:
         print(f"  busiest rule {rule.name}: {rule.matches_found} matches, "
               f"{rule.applications} applications, search {rule.search_time:.2f} s")
-
-    # 3. Extraction with different objectives.
-    extractions = {
-        "greedy / node count": greedy_extract(circuit.egraph, NodeCountCost()),
-        "greedy / depth": greedy_extract(circuit.egraph, DepthCost()),
-    }
-    portfolio = portfolio_extract(
-        circuit.egraph,
-        circuit.output_classes,
-        cost=DepthCost(),
-        config=PortfolioConfig(chains=3, move_budget=96, migrate_every=16, seed=1),
-        seed_solution=circuit.original_extraction(),
-    )
     extractions["extraction portfolio"] = portfolio.extraction
     profile = portfolio.profile
     print(f"portfolio extraction: cost {profile.initial_cost:.0f} -> {profile.best_cost:.0f} "
@@ -97,6 +105,14 @@ def main() -> int:
         assert check_equivalence(aig, candidate, conflict_budget=50_000).equivalent
         report(label, candidate, library)
     print("\nall candidates verified equivalent to the input circuit")
+
+    # 5. The trace of the exploration: span tree to the terminal, Chrome
+    #    trace-event JSON to disk (open in https://ui.perfetto.dev).
+    print("\ntrace of the exploration (top two levels):")
+    print(tracer.format_tree(max_depth=1))
+    write_chrome_trace(tracer, "egraph_exploration_trace.json")
+    print(f"\nfull trace ({len(tracer.records)} spans) written to "
+          "egraph_exploration_trace.json")
     return 0
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence
 
 from repro.aig.graph import Aig
@@ -36,19 +37,78 @@ from repro.aig.io_aiger import read_aag
 from repro.benchgen import epfl
 from repro.flows.baseline import BaselineConfig, run_baseline_flow
 from repro.flows.emorphic import EmorphicConfig, run_emorphic_flow
+from repro.obs.log import configure_logging, get_logger
 
 FLOW_VARIANTS = ("baseline", "emorphic", "emorphic_ml")
 
+_LOG = get_logger("cli")
+
 
 def _load_circuit(args: argparse.Namespace) -> Aig:
+    _resolve_circuit(args)
     if args.circuit.endswith(".aag"):
         return read_aag(args.circuit)
     return epfl.build(args.circuit, preset=args.preset)
 
 
-def _add_circuit_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("circuit", help="benchmark name (see 'list') or path to an .aag file")
+def _add_circuit_args(parser: argparse.ArgumentParser, positional: bool = True) -> None:
+    if positional:
+        # The positional spelling and -c are interchangeable (exactly one).
+        parser.add_argument(
+            "circuit", nargs="?", default=None, help="benchmark name (see 'list') or path to an .aag file"
+        )
+        parser.add_argument(
+            "-c",
+            "--circuit",
+            dest="circuit_opt",
+            default=None,
+            help="alternative spelling of the positional circuit argument",
+        )
+    else:
+        parser.add_argument(
+            "-c", "--circuit", required=True, help="benchmark name (see 'list') or path to an .aag file"
+        )
     parser.add_argument("--preset", default="test", choices=["test", "bench"], help="benchmark size preset")
+
+
+def _resolve_circuit(args: argparse.Namespace) -> None:
+    """Fold the ``-c`` alternative into ``args.circuit`` (exactly one form)."""
+    opt = getattr(args, "circuit_opt", None)
+    if opt is not None:
+        if args.circuit is not None:
+            raise SystemExit("give the circuit either positionally or with -c, not both")
+        args.circuit = opt
+    if args.circuit is None:
+        raise SystemExit("a circuit is required (positionally or with -c)")
+
+
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record a span trace and write it to FILE: Chrome trace-event JSON "
+        "(load in Perfetto / about:tracing), or folded flamegraph stacks when "
+        "FILE ends in .folded",
+    )
+
+
+@contextmanager
+def _maybe_trace(args: argparse.Namespace):
+    """Install a tracer for the command when ``--trace FILE`` was given."""
+    path = getattr(args, "trace", None)
+    if not path:
+        yield None
+        return
+    from repro.obs import tracing, write_chrome_trace, write_folded_stacks
+
+    with tracing() as tracer:
+        yield tracer
+    if path.endswith(".folded"):
+        write_folded_stacks(tracer, path)
+    else:
+        write_chrome_trace(tracer, path)
+    _LOG.info(f"trace written to {path}")
 
 
 def _add_emorphic_args(parser: argparse.ArgumentParser) -> None:
@@ -141,7 +201,8 @@ def cmd_baseline(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     aig = _load_circuit(args)
-    result = run_emorphic_flow(aig, _emorphic_config(args))
+    with _maybe_trace(args):
+        result = run_emorphic_flow(aig, _emorphic_config(args))
     print(
         f"{aig.name}: area={result.area:.2f} um^2  delay={result.delay:.2f} ps  "
         f"lev={result.levels}  runtime={result.runtime:.2f} s"
@@ -157,8 +218,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     aig = _load_circuit(args)
-    baseline = run_baseline_flow(aig, BaselineConfig(use_choices=not args.no_choices))
-    emorphic = run_emorphic_flow(aig, _emorphic_config(args))
+    with _maybe_trace(args):
+        baseline = run_baseline_flow(aig, BaselineConfig(use_choices=not args.no_choices))
+        emorphic = run_emorphic_flow(aig, _emorphic_config(args))
     print(f"{'flow':12s} {'area (um^2)':>12s} {'delay (ps)':>12s} {'lev':>6s} {'runtime (s)':>12s}")
     print(
         f"{'baseline':12s} {baseline.area:12.2f} {baseline.delay:12.2f} "
@@ -194,11 +256,14 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     pipeline = _build_pipeline(args.script)
 
     def on_pass_end(name: str, ctx, seconds: float) -> None:
-        if args.verbose:
-            stats = ctx.aig.stats()
-            print(f"  {name:12s} {seconds:7.2f} s  ands={stats['ands']} levels={stats['levels']}")
+        stats = ctx.aig.stats()
+        _LOG.info(
+            f"  {name:12s} {seconds:7.2f} s  ands={stats['ands']} levels={stats['levels']}",
+            extra={"pass": name, "seconds": seconds, "ands": stats["ands"], "levels": stats["levels"]},
+        )
 
-    result = pipeline.run_flow(aig, on_pass_end=on_pass_end if args.verbose else None)
+    with _maybe_trace(args):
+        result = pipeline.run_flow(aig, on_pass_end=on_pass_end if args.verbose else None)
     print(f"pipeline: {pipeline.to_script()}")
     if result.mapping is not None:
         print(
@@ -220,7 +285,28 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(result.to_dict(), handle, indent=2)
-        print(f"report written to {args.json}")
+        _LOG.info(f"report written to {args.json}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a scripted pipeline under a tracer and print the span tree."""
+    from repro.obs import to_chrome_trace, tracing, write_chrome_trace
+
+    aig = _load_circuit(args)
+    pipeline = _build_pipeline(args.script)
+    with tracing() as tracer:
+        result = pipeline.run_flow(aig)
+    print(f"pipeline: {pipeline.to_script()} on {aig.name}")
+    print(tracer.format_tree(max_depth=args.depth))
+    stats = result.aig.stats()
+    print(
+        f"{len(tracer.records)} spans, {len(to_chrome_trace(tracer)['traceEvents'])} trace events; "
+        f"final ands={stats['ands']} levels={stats['levels']}"
+    )
+    if args.out:
+        write_chrome_trace(tracer, args.out)
+        _LOG.info(f"trace written to {args.out}")
     return 0
 
 
@@ -263,7 +349,7 @@ def _bench_epilogue(payload: Dict[str, object], args: argparse.Namespace) -> int
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
-        print(f"bench written to {args.json}")
+        _LOG.info(f"bench written to {args.json}")
     if args.reference:
         with open(args.reference) as handle:
             reference = json.load(handle)
@@ -288,7 +374,7 @@ def cmd_saturate_bench(args: argparse.Namespace) -> int:
         max_nodes=args.max_nodes,
         time_limit=args.time_limit,
         check_cec=not args.no_cec,
-        progress=(lambda message: print(f"  {message}", flush=True)),
+        progress=(lambda message: _LOG.info(f"  {message}")),
     )
     print(render_bench(payload))
     return _bench_epilogue(payload, args)
@@ -308,7 +394,7 @@ def cmd_extract_bench(args: argparse.Namespace) -> int:
         saturate_iters=args.saturate_iters,
         max_nodes=args.max_nodes,
         check_cec=not args.no_cec,
-        progress=(lambda message: print(f"  {message}", flush=True)),
+        progress=(lambda message: _LOG.info(f"  {message}")),
     )
     print(render_bench(payload))
     return _bench_epilogue(payload, args)
@@ -385,14 +471,23 @@ def cmd_batch(args: argparse.Namespace) -> int:
                         make_job(name, "emorphic", config=config, preset=args.preset, tag=flow)
                     )
 
-    report = run_campaign(
-        jobs,
-        store=args.store,
-        max_workers=args.jobs,
-        job_timeout=args.timeout,
-        use_cache=not args.no_cache,
-        progress=True,
-    )
+    if args.progress:
+        from repro.obs import CampaignProgress
+
+        renderer = CampaignProgress()
+        progress, on_event = False, renderer.handle
+    else:
+        progress, on_event = True, None
+    with _maybe_trace(args):
+        report = run_campaign(
+            jobs,
+            store=args.store,
+            max_workers=args.jobs,
+            job_timeout=args.timeout,
+            use_cache=not args.no_cache,
+            progress=progress,
+            on_event=on_event,
+        )
     summary = table2_summary(report)
     if summary["rows"]:
         print()
@@ -401,7 +496,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         payload = {"campaign": report.to_dict(), "summary": summary}
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
-        print(f"report written to {args.json}")
+        _LOG.info(f"report written to {args.json}")
     return 0 if report.ok else 1
 
 
@@ -451,7 +546,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if args.json:
             with open(args.json, "w") as handle:
                 json.dump(report.to_dict(), handle, indent=2)
-            print(f"report written to {args.json}")
+            _LOG.info(f"report written to {args.json}")
         return 0 if report.campaign.ok else 1
 
     grid = _parse_grid(args.param or [])
@@ -480,7 +575,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(report.to_dict(), handle, indent=2)
-        print(f"report written to {args.json}")
+        _LOG.info(f"report written to {args.json}")
     return 0 if report.campaign.ok else 1
 
 
@@ -511,6 +606,22 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="emorphic", description=__doc__)
+    parser.add_argument(
+        "-v",
+        dest="verbosity",
+        action="count",
+        default=0,
+        help="increase diagnostic verbosity (repeatable; -v enables debug logging)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="only log warnings and errors"
+    )
+    parser.add_argument(
+        "--log-format",
+        default="console",
+        choices=["console", "json"],
+        help="diagnostic log format: human console lines or one JSON object per line",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list available benchmark circuits")
@@ -528,11 +639,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run the E-morphic flow")
     _add_circuit_args(p_run)
     _add_emorphic_args(p_run)
+    _add_trace_arg(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare baseline and E-morphic on one circuit")
     _add_circuit_args(p_cmp)
     _add_emorphic_args(p_cmp)
+    _add_trace_arg(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_pipe = sub.add_parser("pipeline", help="run an arbitrary scripted pass pipeline")
@@ -544,7 +657,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_pipe.add_argument("--verbose", action="store_true", help="print AIG stats after every pass")
     p_pipe.add_argument("--json", default=None, help="write the result summary to this JSON file")
+    _add_trace_arg(p_pipe)
     p_pipe.set_defaults(func=cmd_pipeline)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a scripted pipeline under a tracer and print the span tree"
+    )
+    p_trace.add_argument(
+        "script",
+        help='ABC-style pass script, e.g. "st; dag2eg; saturate(iters=2); extract(greedy); map"',
+    )
+    _add_circuit_args(p_trace, positional=False)
+    p_trace.add_argument(
+        "--depth", type=int, default=None, help="limit the printed span tree to this depth"
+    )
+    p_trace.add_argument(
+        "--out", default=None, help="also write the Chrome trace-event JSON to this file"
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_scripts = sub.add_parser(
         "scripts", help="list registered pipeline passes and named optimization scripts"
@@ -640,7 +770,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run this scripted pipeline instead of the named flows "
         "(the canonical pipeline spec participates in the job hash/cache)",
     )
+    p_batch.add_argument(
+        "--progress",
+        action="store_true",
+        help="live progress rendering (single rewritten status line on a TTY)",
+    )
     _add_campaign_args(p_batch)
+    _add_trace_arg(p_batch)
     p_batch.set_defaults(func=cmd_batch)
 
     p_sweep = sub.add_parser(
@@ -673,6 +809,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(verbosity=args.verbosity, quiet=args.quiet, fmt=args.log_format)
     return args.func(args)
 
 

@@ -30,6 +30,8 @@ from repro.egraph.rules import boolean_rules
 from repro.engine.engine import EngineLimits, SaturationEngine
 from repro.extraction.cost import DepthCost
 from repro.extraction.greedy import greedy_extract
+from repro.obs import trace as obs
+from repro.obs.export import span_summary
 
 BENCH_SCHEMA = 1
 
@@ -63,17 +65,21 @@ def _bench_one(
 ) -> Dict[str, object]:
     circuit = aig_to_egraph(aig)
     start = time.perf_counter()
-    profile = SaturationEngine(
-        circuit.egraph,
-        boolean_rules(),
-        limits,
-        scheduler=variant.scheduler,
-        use_index=variant.use_index,
-        dedup_matches=variant.dedup,
-    ).run()
+    # The run's own tracer: the per-phase digest lands in the payload under
+    # the additive "span_summary" key (the gate only reads the legacy fields).
+    with obs.tracing() as tracer:
+        profile = SaturationEngine(
+            circuit.egraph,
+            boolean_rules(),
+            limits,
+            scheduler=variant.scheduler,
+            use_index=variant.use_index,
+            dedup_matches=variant.dedup,
+        ).run()
     wall_time = time.perf_counter() - start
     record: Dict[str, object] = {
         "wall_time": wall_time,
+        "span_summary": span_summary(tracer),
         "stop_reason": profile.stop_reason,
         "iterations": profile.num_iterations,
         "final_classes": profile.final_classes,

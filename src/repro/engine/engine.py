@@ -45,6 +45,8 @@ from repro.egraph.rewrite import Rewrite
 from repro.engine.index import OpIndex
 from repro.engine.scheduler import Scheduler, make_scheduler
 from repro.engine.telemetry import IterationReport, RuleProfile, SaturationProfile
+from repro.obs import trace as obs
+from repro.obs.metrics import registry as obs_registry
 
 
 @dataclass
@@ -125,104 +127,138 @@ class SaturationEngine:
         }
         iterations: List[IterationReport] = []
         stop_reason = "iteration_limit"
+        # Spans are the single timing source: every wall-clock figure in the
+        # profile (rule search/apply, iteration phases, total) is the duration
+        # of the span that scoped it, so a `--trace` export and the JSON
+        # telemetry can never disagree.
+        run_span = obs.span("saturate", category="engine", scheduler=scheduler.name)
         start = time.perf_counter()
-        try:
-            for iteration in range(limits.max_iterations):
-                iter_start = time.perf_counter()
-                if iter_start - start > limits.time_limit:
-                    stop_reason = "time_limit"
-                    break
-                report = IterationReport(iteration=iteration)
+        with run_span:
+            try:
+                for iteration in range(limits.max_iterations):
+                    iter_start = time.perf_counter()
+                    if iter_start - start > limits.time_limit:
+                        stop_reason = "time_limit"
+                        break
+                    report = IterationReport(iteration=iteration)
+                    with obs.span(
+                        f"iteration {iteration}", category="saturation.iteration"
+                    ) as iter_span:
+                        # Phase 1: search every eligible rule against the
+                        # frozen graph.  ``restricted`` notes that the
+                        # scheduler held something back this iteration (a
+                        # banned rule, backoff-truncated matches): a quiet
+                        # iteration under scheduler restriction is not
+                        # saturation.  The hard match_limit_per_rule cap is
+                        # *not* a restriction — quiet under the cap saturated
+                        # the legacy runner too.
+                        searched: List[Tuple[Rewrite, List[Match]]] = []
+                        restricted = False
+                        with obs.span("search", category="saturation.phase") as search_span:
+                            for rule in self.rules:
+                                stats = rule_stats[rule.name]
+                                if not scheduler.can_search(iteration, rule.name):
+                                    stats.banned_iterations += 1
+                                    report.banned.append(rule.name)
+                                    restricted = True
+                                    continue
+                                with obs.span(rule.name, category="saturation.search") as rule_span:
+                                    candidates = (
+                                        index.candidates(rule.lhs.root) if index is not None else None
+                                    )
+                                    matches = rule.search(
+                                        egraph, limit=limits.match_limit_per_rule, candidates=candidates
+                                    )
+                                stats.search_time += rule_span.duration
+                                allowed = scheduler.allowed_matches(iteration, rule.name, len(matches))
+                                if allowed < len(matches):
+                                    matches = matches[:allowed]
+                                    stats.times_banned += 1
+                                    restricted = True
+                                rule_span.set("matches", len(matches))
+                                stats.matches_found += len(matches)
+                                report.matches_found += len(matches)
+                                searched.append((rule, matches))
+                            search_span.set("matches", report.matches_found)
+                        report.search_time = search_span.duration
 
-                # Phase 1: search every eligible rule against the frozen graph.
-                # ``restricted`` notes that the scheduler held something back
-                # this iteration (a banned rule, backoff-truncated matches): a
-                # quiet iteration under scheduler restriction is not
-                # saturation.  The hard match_limit_per_rule cap is *not* a
-                # restriction — quiet under the cap saturated the legacy
-                # runner too.
-                searched: List[Tuple[Rewrite, List[Match]]] = []
-                restricted = False
-                for rule in self.rules:
-                    stats = rule_stats[rule.name]
-                    if not scheduler.can_search(iteration, rule.name):
-                        stats.banned_iterations += 1
-                        report.banned.append(rule.name)
-                        restricted = True
-                        continue
-                    t0 = time.perf_counter()
-                    candidates = index.candidates(rule.lhs.root) if index is not None else None
-                    matches = rule.search(
-                        egraph, limit=limits.match_limit_per_rule, candidates=candidates
-                    )
-                    stats.search_time += time.perf_counter() - t0
-                    allowed = scheduler.allowed_matches(iteration, rule.name, len(matches))
-                    if allowed < len(matches):
-                        matches = matches[:allowed]
-                        stats.times_banned += 1
-                        restricted = True
-                    stats.matches_found += len(matches)
-                    report.matches_found += len(matches)
-                    searched.append((rule, matches))
-                report.search_time = time.perf_counter() - iter_start
+                        # Phase 2: apply rule by rule; the node budget is
+                        # checked between rules, and rules past the trip point
+                        # are recorded as skipped instead of silently dropped
+                        # from ``applied``.
+                        total_applied = 0
+                        budget_tripped = False
+                        with obs.span("apply", category="saturation.phase") as apply_span:
+                            for rule, matches in searched:
+                                stats = rule_stats[rule.name]
+                                if budget_tripped:
+                                    report.skipped.append(rule.name)
+                                    stats.skipped_iterations += 1
+                                    continue
+                                with obs.span(rule.name, category="saturation.apply") as rule_span:
+                                    deduped_before = stats.matches_deduped
+                                    count = self._apply_rule(rule, matches, stats)
+                                stats.apply_time += rule_span.duration
+                                rule_span.set("applications", count)
+                                stats.applications += count
+                                report.matches_deduped += stats.matches_deduped - deduped_before
+                                report.applied[rule.name] = count
+                                total_applied += count
+                                if egraph.num_nodes > limits.max_nodes:
+                                    budget_tripped = True
+                            apply_span.set("applications", total_applied)
+                        report.apply_time = apply_span.duration
 
-                # Phase 2: apply rule by rule; the node budget is checked
-                # between rules, and rules past the trip point are recorded as
-                # skipped instead of silently dropped from ``applied``.
-                apply_start = time.perf_counter()
-                total_applied = 0
-                budget_tripped = False
-                for rule, matches in searched:
-                    stats = rule_stats[rule.name]
-                    if budget_tripped:
-                        report.skipped.append(rule.name)
-                        stats.skipped_iterations += 1
-                        continue
-                    t0 = time.perf_counter()
-                    deduped_before = stats.matches_deduped
-                    count = self._apply_rule(rule, matches, stats)
-                    stats.apply_time += time.perf_counter() - t0
-                    stats.applications += count
-                    report.matches_deduped += stats.matches_deduped - deduped_before
-                    report.applied[rule.name] = count
-                    total_applied += count
+                        with obs.span("rebuild", category="saturation.phase") as rebuild_span:
+                            egraph.rebuild()
+                        report.rebuild_time = rebuild_span.duration
+
+                        report.num_classes = egraph.num_classes
+                        report.num_nodes = egraph.num_nodes
+                        iter_span.set("classes", egraph.num_classes)
+                        iter_span.set("nodes", egraph.num_nodes)
+                        iter_span.set("applications", total_applied)
+                    report.elapsed = iter_span.duration
+                    iterations.append(report)
+
+                    if total_applied == 0 and not restricted:
+                        stop_reason = "saturated"
+                        break
                     if egraph.num_nodes > limits.max_nodes:
-                        budget_tripped = True
-                report.apply_time = time.perf_counter() - apply_start
-
-                rebuild_start = time.perf_counter()
-                egraph.rebuild()
-                report.rebuild_time = time.perf_counter() - rebuild_start
-
-                report.num_classes = egraph.num_classes
-                report.num_nodes = egraph.num_nodes
-                report.elapsed = time.perf_counter() - iter_start
-                iterations.append(report)
-
-                if total_applied == 0 and not restricted:
-                    stop_reason = "saturated"
-                    break
-                if egraph.num_nodes > limits.max_nodes:
-                    stop_reason = "node_limit"
-                    break
-                if egraph.num_classes > limits.max_classes:
-                    stop_reason = "class_limit"
-                    break
-                if time.perf_counter() - start > limits.time_limit:
-                    stop_reason = "time_limit"
-                    break
-        finally:
-            if index is not None:
-                index.detach()
+                        stop_reason = "node_limit"
+                        break
+                    if egraph.num_classes > limits.max_classes:
+                        stop_reason = "class_limit"
+                        break
+                    if time.perf_counter() - start > limits.time_limit:
+                        stop_reason = "time_limit"
+                        break
+            finally:
+                if index is not None:
+                    index.detach()
+            run_span.set("stop_reason", stop_reason)
+            run_span.set("iterations", len(iterations))
         self.profile = SaturationProfile(
             stop_reason=stop_reason,
             iterations=iterations,
-            total_time=time.perf_counter() - start,
+            total_time=run_span.duration,
             rules=rule_stats,
             scheduler=scheduler.name,
             indexed=self.use_index,
             dedup=self.dedup_matches,
         )
+        metrics = obs_registry()
+        metrics.counter("saturation_runs_total", "saturation engine runs").inc()
+        metrics.counter("saturation_matches_total", "matches found across runs").inc(
+            self.profile.total_matches
+        )
+        metrics.counter("saturation_applications_total", "unions performed across runs").inc(
+            self.profile.total_applications
+        )
+        metrics.gauge("egraph_classes", "classes after the last saturation run").set(
+            egraph.num_classes
+        )
+        metrics.gauge("egraph_nodes", "e-nodes after the last saturation run").set(egraph.num_nodes)
         return self.profile
 
 

@@ -33,6 +33,8 @@ from repro.engine.engine import EngineLimits, SaturationEngine
 from repro.extraction.cost import DepthCost
 from repro.extraction.engine.portfolio import PortfolioConfig, portfolio_extract
 from repro.extraction.sa import AnnealingSchedule, SAExtractor
+from repro.obs import trace as obs
+from repro.obs.export import span_summary
 
 BENCH_SCHEMA = 1
 
@@ -55,58 +57,62 @@ def _bench_one(
 ) -> Dict[str, object]:
     cost = DepthCost()
     start = time.perf_counter()
-    if variant == "legacy":
-        iterations = 4
-        moves = max(1, move_budget // iterations)
-        result = SAExtractor(
-            circuit.egraph,
-            circuit.output_classes,
-            cost=cost,
-            schedule=AnnealingSchedule(num_iterations=iterations),
-            moves_per_iteration=moves,
-            seed=seed,
-            seed_solution=circuit.original_extraction(),
-            initial="seed",
-        ).run()
-        extraction = result.extraction
-        record: Dict[str, object] = {
-            "wall_time": time.perf_counter() - start,
-            "cost": result.cost,
-            "initial_cost": result.initial_cost,
-            "moves": iterations * moves,
-            "accepted": result.accepted_moves,
-            "evals": iterations * moves,
-            "mean_cone": float(circuit.egraph.num_classes),
-        }
-    else:
-        config = PortfolioConfig(
-            chains=1 if variant == "delta" else chains,
-            move_budget=move_budget,
-            migrate_every=migrate_every,
-            seed=seed,
-            evaluator="delta",
-            workers=0 if variant == "delta" else None,
-        )
-        result = portfolio_extract(
-            circuit.egraph,
-            circuit.output_classes,
-            cost=cost,
-            config=config,
-            seed_solution=circuit.original_extraction(),
-        )
-        extraction = result.extraction
-        profile = result.profile
-        record = {
-            "wall_time": time.perf_counter() - start,
-            "cost": result.cost,
-            "initial_cost": profile.initial_cost,
-            "moves": profile.total_moves,
-            "accepted": profile.total_accepted,
-            "evals": profile.total_evals,
-            "mean_cone": profile.mean_cone(),
-            "chains": profile.num_chains,
-            "migrations": len(profile.migrations),
-        }
+    # The run's own tracer: the per-phase digest lands in the payload under
+    # the additive "span_summary" key (the gate only reads the legacy fields).
+    with obs.tracing() as tracer:
+        if variant == "legacy":
+            iterations = 4
+            moves = max(1, move_budget // iterations)
+            result = SAExtractor(
+                circuit.egraph,
+                circuit.output_classes,
+                cost=cost,
+                schedule=AnnealingSchedule(num_iterations=iterations),
+                moves_per_iteration=moves,
+                seed=seed,
+                seed_solution=circuit.original_extraction(),
+                initial="seed",
+            ).run()
+            extraction = result.extraction
+            record: Dict[str, object] = {
+                "wall_time": time.perf_counter() - start,
+                "cost": result.cost,
+                "initial_cost": result.initial_cost,
+                "moves": iterations * moves,
+                "accepted": result.accepted_moves,
+                "evals": iterations * moves,
+                "mean_cone": float(circuit.egraph.num_classes),
+            }
+        else:
+            config = PortfolioConfig(
+                chains=1 if variant == "delta" else chains,
+                move_budget=move_budget,
+                migrate_every=migrate_every,
+                seed=seed,
+                evaluator="delta",
+                workers=0 if variant == "delta" else None,
+            )
+            result = portfolio_extract(
+                circuit.egraph,
+                circuit.output_classes,
+                cost=cost,
+                config=config,
+                seed_solution=circuit.original_extraction(),
+            )
+            extraction = result.extraction
+            profile = result.profile
+            record = {
+                "wall_time": time.perf_counter() - start,
+                "cost": result.cost,
+                "initial_cost": profile.initial_cost,
+                "moves": profile.total_moves,
+                "accepted": profile.total_accepted,
+                "evals": profile.total_evals,
+                "mean_cone": profile.mean_cone(),
+                "chains": profile.num_chains,
+                "migrations": len(profile.migrations),
+            }
+    record["span_summary"] = span_summary(tracer)
     if check_cec:
         from repro.verify.cec import check_equivalence
 

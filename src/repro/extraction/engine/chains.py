@@ -22,13 +22,13 @@ from __future__ import annotations
 
 import math
 import random
-import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from repro.extraction.engine.delta import choice_cost, make_evaluator
 from repro.extraction.engine.problem import Choice, FrozenProblem
 from repro.extraction.engine.telemetry import ChainProfile
+from repro.obs import trace as obs
 
 CHAIN_KINDS = ("sa", "greedy", "restart")
 
@@ -141,77 +141,92 @@ def run_round(problem: FrozenProblem, state: ChainState, moves: int) -> ChainSta
     Pure up to the state it returns: rebuilds the topological order, the
     cycle-safe flip candidates, and the cost evaluator from ``state.choice``,
     restores the rng, and never reads process-local state — so a round
-    computes the identical result inline and inside a pool worker.
+    computes the identical result inline and inside a pool worker.  The
+    round's span (``chain round``, tagged with chain id and kind) is both the
+    profile's wall-clock source and — when a tracer is installed inline or in
+    the worker — the per-chain level of the trace tree.
     """
-    start = time.perf_counter()
-    spec = state.spec
-    rng = random.Random()
-    rng.setstate(state.rng_state)
+    round_span = obs.span(
+        "chain round",
+        category="extraction.chain",
+        chain=state.profile.chain_id,
+        kind=state.spec.kind,
+    )
+    with round_span:
+        spec = state.spec
+        rng = random.Random()
+        rng.setstate(state.rng_state)
 
-    order = problem.toposort(state.choice)
-    safe = problem.flip_candidates(order)
-    flippable = _flippable(problem, state.choice, safe)
-    evaluator = make_evaluator(state.evaluator, problem, state.choice, order=order)
-    current = evaluator.cost
+        order = problem.toposort(state.choice)
+        safe = problem.flip_candidates(order)
+        flippable = _flippable(problem, state.choice, safe)
+        evaluator = make_evaluator(state.evaluator, problem, state.choice, order=order)
+        current = evaluator.cost
 
-    best_choice = state.best_choice
-    best_cost = state.best_cost
-    temperature = state.temperature
-    since_improvement = state.since_improvement
-    profile = state.profile
-    accepted = rejected = uphill = restarts = executed = 0
+        best_choice = state.best_choice
+        best_cost = state.best_cost
+        temperature = state.temperature
+        since_improvement = state.since_improvement
+        profile = state.profile
+        accepted = rejected = uphill = restarts = executed = 0
 
-    for _ in range(moves if flippable else 0):
-        executed += 1
-        cid = flippable[rng.randrange(len(flippable))]
-        old_idx = evaluator.choice[cid]
-        alternatives = safe[cid]
-        # Draw among the other cycle-safe candidates of the class.
-        pick = alternatives[rng.randrange(len(alternatives) - 1)]
-        if pick == old_idx:
-            pick = alternatives[-1]
-        new_cost = evaluator.flip(cid, pick)
-        delta = new_cost - current
-        take = delta <= 0
-        if not take and spec.kind != "greedy" and temperature > 0:
-            take = rng.random() < math.exp(-delta / temperature)
+        for _ in range(moves if flippable else 0):
+            executed += 1
+            cid = flippable[rng.randrange(len(flippable))]
+            old_idx = evaluator.choice[cid]
+            alternatives = safe[cid]
+            # Draw among the other cycle-safe candidates of the class.
+            pick = alternatives[rng.randrange(len(alternatives) - 1)]
+            if pick == old_idx:
+                pick = alternatives[-1]
+            new_cost = evaluator.flip(cid, pick)
+            delta = new_cost - current
+            take = delta <= 0
+            if not take and spec.kind != "greedy" and temperature > 0:
+                take = rng.random() < math.exp(-delta / temperature)
+                if take:
+                    uphill += 1
             if take:
-                uphill += 1
-        if take:
-            current = new_cost
-            accepted += 1
-            if current < best_cost:
-                best_cost = current
-                best_choice = dict(evaluator.choice)
-                since_improvement = 0
+                current = new_cost
+                accepted += 1
+                if current < best_cost:
+                    best_cost = current
+                    best_choice = dict(evaluator.choice)
+                    since_improvement = 0
+                else:
+                    since_improvement += 1
             else:
+                evaluator.flip(cid, old_idx)
+                rejected += 1
                 since_improvement += 1
-        else:
-            evaluator.flip(cid, old_idx)
-            rejected += 1
-            since_improvement += 1
-        if spec.kind != "greedy":
-            temperature *= spec.cooling
-        if spec.kind == "restart" and since_improvement >= spec.restart_after:
-            # Re-seed from a fresh random extraction: new order, new cones.
-            restarts += 1
-            since_improvement = 0
-            temperature = spec.temperature
-            fresh = problem.random_choice(rng, fallback=best_choice)
-            order = problem.toposort(fresh)
-            safe = problem.flip_candidates(order)
-            flippable = _flippable(problem, fresh, safe)
-            evals, touched = evaluator.evals, evaluator.touched
-            evaluator = make_evaluator(state.evaluator, problem, fresh, order=order)
-            evaluator.evals, evaluator.touched = evals, touched
-            current = evaluator.cost
-            if current < best_cost:
-                best_cost = current
-                best_choice = dict(fresh)
-            if not flippable:
-                break
+            if spec.kind != "greedy":
+                temperature *= spec.cooling
+            if spec.kind == "restart" and since_improvement >= spec.restart_after:
+                # Re-seed from a fresh random extraction: new order, new cones.
+                restarts += 1
+                since_improvement = 0
+                temperature = spec.temperature
+                fresh = problem.random_choice(rng, fallback=best_choice)
+                order = problem.toposort(fresh)
+                safe = problem.flip_candidates(order)
+                flippable = _flippable(problem, fresh, safe)
+                evals, touched = evaluator.evals, evaluator.touched
+                evaluator = make_evaluator(state.evaluator, problem, fresh, order=order)
+                evaluator.evals, evaluator.touched = evals, touched
+                current = evaluator.cost
+                if current < best_cost:
+                    best_cost = current
+                    best_choice = dict(fresh)
+                if not flippable:
+                    break
 
-    elapsed = time.perf_counter() - start
+        round_span.set("moves", executed)
+        round_span.set("accepted", accepted)
+        round_span.set("rejected", rejected)
+        round_span.set("uphill", uphill)
+        round_span.set("restarts", restarts)
+        round_span.set("best_cost", best_cost)
+    elapsed = round_span.duration
     profile = replace(
         profile,
         best_cost=best_cost,

@@ -34,6 +34,8 @@ from repro.extraction.engine.chains import ChainSpec, ChainState, adopt_solution
 from repro.extraction.engine.delta import EVALUATORS
 from repro.extraction.engine.problem import FrozenProblem, ProblemStats
 from repro.extraction.engine.telemetry import ExtractionProfile, MigrationEvent
+from repro.obs import trace as obs
+from repro.obs.metrics import registry as obs_registry
 
 #: Distinct-prime stride between per-chain seeds.  Documented contract: chain
 #: ``i`` of a portfolio (or of ``parallel_sa_extract``) is seeded with
@@ -111,16 +113,30 @@ class PortfolioResult:
 # -- worker-side state --------------------------------------------------------
 
 _WORKER_PROBLEM: Optional[FrozenProblem] = None
+_WORKER_TRACED: bool = False
 
 
-def _init_worker(problem: FrozenProblem) -> None:
-    global _WORKER_PROBLEM
+def _init_worker(problem: FrozenProblem, traced: bool = False) -> None:
+    global _WORKER_PROBLEM, _WORKER_TRACED
     _WORKER_PROBLEM = problem
+    _WORKER_TRACED = traced
 
 
-def _worker_round(state: ChainState, moves: int) -> ChainState:
+def _worker_round(state: ChainState, moves: int):
+    """Run one round in a pool worker; returns ``(state, span_buffer)``.
+
+    When the parent had a tracer installed at pool creation, the worker
+    records the round's spans into a local tracer and ships the exported
+    buffer back with the state — the parent grafts it into its trace at the
+    migration barrier (the buffer is None when tracing is off, so the
+    common path pays nothing extra).
+    """
     assert _WORKER_PROBLEM is not None
-    return run_round(_WORKER_PROBLEM, state, moves)
+    if not _WORKER_TRACED:
+        return run_round(_WORKER_PROBLEM, state, moves), None
+    with obs.tracing() as tracer:
+        state = run_round(_WORKER_PROBLEM, state, moves)
+    return state, tracer.export()
 
 
 # -- the portfolio loop -------------------------------------------------------
@@ -146,68 +162,101 @@ def portfolio_extract(
     cost = cost or NodeCountCost()
     start = time.perf_counter()
 
-    problem = FrozenProblem.build(egraph, roots, cost)
-    greedy = problem.greedy_choice()
-    stats = ProblemStats.of(problem, problem.flip_candidates(problem.toposort(greedy)))
-    seed_choice = problem.choice_from_extraction(seed_solution) if seed_solution else None
+    portfolio_span = obs.span(
+        "extract portfolio",
+        category="extraction",
+        chains=config.chains,
+        move_budget=config.move_budget,
+        evaluator=config.evaluator,
+    )
+    with portfolio_span:
+        problem = FrozenProblem.build(egraph, roots, cost)
+        greedy = problem.greedy_choice()
+        stats = ProblemStats.of(problem, problem.flip_candidates(problem.toposort(greedy)))
+        seed_choice = problem.choice_from_extraction(seed_solution) if seed_solution else None
 
-    states: List[ChainState] = []
-    for i in range(config.chains):
-        spec = config.spec_for(i)
-        states.append(
-            init_chain(
-                problem,
-                spec,
-                chain_seed(config.seed, i),
-                chain_id=i,
-                evaluator=config.evaluator,
-                seed_choice=seed_choice,
-                greedy=greedy,
+        states: List[ChainState] = []
+        for i in range(config.chains):
+            spec = config.spec_for(i)
+            states.append(
+                init_chain(
+                    problem,
+                    spec,
+                    chain_seed(config.seed, i),
+                    chain_id=i,
+                    evaluator=config.evaluator,
+                    seed_choice=seed_choice,
+                    greedy=greedy,
+                )
             )
+
+        remaining = config.budgets()
+        migrations: List[MigrationEvent] = []
+        workers = config.workers
+        if workers is None:
+            workers = min(config.chains, os.cpu_count() or 1)
+        # Whether the parent traces is pinned at pool creation: workers record
+        # spans into a local buffer and ship it back with each round's state,
+        # to be merged (pid-tagged records, chain args) at the barrier below.
+        pool = (
+            ProcessPoolExecutor(
+                workers, initializer=_init_worker, initargs=(problem, obs.tracing_enabled())
+            )
+            if workers > 1
+            else None
         )
+        tracer = obs.current_tracer()
 
-    remaining = config.budgets()
-    migrations: List[MigrationEvent] = []
-    workers = config.workers
-    if workers is None:
-        workers = min(config.chains, os.cpu_count() or 1)
-    pool = ProcessPoolExecutor(workers, initializer=_init_worker, initargs=(problem,)) if workers > 1 else None
-
-    round_index = 0
-    try:
-        while any(remaining):
-            batch = [
-                (i, min(config.migrate_every, remaining[i]))
-                for i in range(config.chains)
-                if remaining[i] > 0
-            ]
+        round_index = 0
+        try:
+            while any(remaining):
+                batch = [
+                    (i, min(config.migrate_every, remaining[i]))
+                    for i in range(config.chains)
+                    if remaining[i] > 0
+                ]
+                with obs.span("portfolio round", category="extraction.round", round=round_index):
+                    if pool is not None:
+                        futures = [
+                            (i, pool.submit(_worker_round, states[i], moves)) for i, moves in batch
+                        ]
+                        for i, future in futures:
+                            states[i], buffer = future.result()
+                            if buffer and tracer is not None:
+                                tracer.merge(buffer)
+                    else:
+                        for i, moves in batch:
+                            states[i] = run_round(problem, states[i], moves)
+                    for i, moves in batch:
+                        remaining[i] -= moves
+                    round_index += 1
+                    if config.chains > 1:
+                        best_i = min(range(config.chains), key=lambda i: (states[i].best_cost, i))
+                        best = states[best_i]
+                        for i, state in enumerate(states):
+                            if i != best_i and state.current_cost > best.best_cost and remaining[i] > 0:
+                                states[i] = adopt_solution(state, best.best_choice, best.best_cost)
+                                migrations.append(
+                                    MigrationEvent(
+                                        round=round_index,
+                                        source_chain=best_i,
+                                        target_chain=i,
+                                        cost=best.best_cost,
+                                    )
+                                )
+                                obs.instant(
+                                    "migration",
+                                    category="extraction.migration",
+                                    round=round_index,
+                                    source_chain=best_i,
+                                    target_chain=i,
+                                    cost=best.best_cost,
+                                )
+        finally:
             if pool is not None:
-                futures = [(i, pool.submit(_worker_round, states[i], moves)) for i, moves in batch]
-                for i, future in futures:
-                    states[i] = future.result()
-            else:
-                for i, moves in batch:
-                    states[i] = run_round(problem, states[i], moves)
-            for i, moves in batch:
-                remaining[i] -= moves
-            round_index += 1
-            if config.chains > 1:
-                best_i = min(range(config.chains), key=lambda i: (states[i].best_cost, i))
-                best = states[best_i]
-                for i, state in enumerate(states):
-                    if i != best_i and state.current_cost > best.best_cost and remaining[i] > 0:
-                        states[i] = adopt_solution(state, best.best_choice, best.best_cost)
-                        migrations.append(
-                            MigrationEvent(
-                                round=round_index,
-                                source_chain=best_i,
-                                target_chain=i,
-                                cost=best.best_cost,
-                            )
-                        )
-    finally:
-        if pool is not None:
-            pool.shutdown()
+                pool.shutdown()
+        portfolio_span.set("rounds", round_index)
+        portfolio_span.set("migrations", len(migrations))
 
     chain_extractions = [problem.extraction_from_choice(s.best_choice) for s in states]
     chain_costs = [s.best_cost for s in states]
@@ -229,6 +278,17 @@ def portfolio_extract(
         wall_time=time.perf_counter() - start,
         problem=stats.to_dict(),
         selector="external" if final_selector is not None else None,
+    )
+    metrics = obs_registry()
+    metrics.counter("extraction_runs_total", "portfolio extraction runs").inc()
+    metrics.counter("extraction_moves_total", "flips executed across runs").inc(
+        sum(chain.moves for chain in profile.chains)
+    )
+    metrics.counter("extraction_migrations_total", "island migrations across runs").inc(
+        len(migrations)
+    )
+    metrics.gauge("extraction_best_cost", "best cost of the last portfolio run").set(
+        profile.best_cost
     )
     return PortfolioResult(
         extraction=chain_extractions[best_chain],

@@ -1,0 +1,80 @@
+"""``repro.obs`` — the unified observability layer.
+
+One span/metrics substrate for every subsystem:
+
+* **spans** (:mod:`repro.obs.trace`) — hierarchical wall-clock scopes
+  (``flow → pass → saturation iteration → rule search/apply/rebuild``,
+  ``flow → pass → portfolio round → chain``) with counters attached; safe
+  across process pools via worker-local buffers merged at barriers;
+* **metrics** (:mod:`repro.obs.metrics`) — a process-local registry of
+  counters/gauges with a Prometheus text exposition;
+* **exporters** (:mod:`repro.obs.export`) — Chrome trace-event JSON
+  (Perfetto / ``about:tracing``) and folded flamegraph stacks;
+* **logging** (:mod:`repro.obs.log`) — the structured ``repro.obs.log``
+  stdlib logger (console or JSON-lines formatting);
+* **progress** (:mod:`repro.obs.progress`) — live rendering of orchestrate
+  campaign events (``emorphic batch --progress``).
+
+Engine profiles (``SaturationProfile``, ``ExtractionProfile``) are populated
+*from* spans, so one instrumentation layer feeds the JSON payloads, the
+benches, `--trace` exports, and the future job-server streaming path.
+"""
+
+from repro.obs.export import (
+    span_summary,
+    to_chrome_trace,
+    to_folded_stacks,
+    write_chrome_trace,
+    write_folded_stacks,
+)
+from repro.obs.log import JsonFormatter, configure_logging, ensure_configured, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    prometheus_text,
+    registry,
+    reset_registry,
+)
+from repro.obs.progress import CampaignProgress
+from repro.obs.trace import (
+    Span,
+    SpanRecord,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    instant,
+    span,
+    tracing,
+    tracing_enabled,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "CampaignProgress",
+    "Counter",
+    "Gauge",
+    "JsonFormatter",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "configure_logging",
+    "current_tracer",
+    "ensure_configured",
+    "get_logger",
+    "install_tracer",
+    "instant",
+    "prometheus_text",
+    "registry",
+    "reset_registry",
+    "span",
+    "span_summary",
+    "to_chrome_trace",
+    "to_folded_stacks",
+    "tracing",
+    "tracing_enabled",
+    "uninstall_tracer",
+    "write_chrome_trace",
+    "write_folded_stacks",
+]

@@ -1,0 +1,112 @@
+"""Trace exporters: Chrome trace-event JSON and folded flamegraph stacks.
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format consumed by Perfetto (https://ui.perfetto.dev) and Chrome's
+  ``about:tracing``: complete (``"ph": "X"``) events with microsecond
+  timestamps, one ``pid`` lane per recording process, plus instant
+  (``"ph": "i"``) events for migrations and job lifecycle markers.
+* :func:`to_folded_stacks` — Brendan Gregg's folded-stack text
+  (``root;child;leaf <self-microseconds>`` per line), the input format of
+  ``flamegraph.pl`` and most flamegraph viewers.
+
+Both exporters consume a :class:`~repro.obs.trace.Tracer` (or a raw record
+list), so worker buffers merged into the parent trace export for free.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Union
+
+from repro.obs.trace import SpanRecord, Tracer
+
+__all__ = [
+    "span_summary",
+    "to_chrome_trace",
+    "to_folded_stacks",
+    "write_chrome_trace",
+    "write_folded_stacks",
+]
+
+
+def _records(trace: Union[Tracer, List[SpanRecord]]) -> List[SpanRecord]:
+    return trace.records if isinstance(trace, Tracer) else list(trace)
+
+
+def to_chrome_trace(trace: Union[Tracer, List[SpanRecord]]) -> Dict[str, object]:
+    """The Chrome trace-event payload: ``{"traceEvents": [...], ...}``."""
+    events: List[Dict[str, object]] = []
+    for record in _records(trace):
+        event: Dict[str, object] = {
+            "name": record.name,
+            "cat": record.category or "span",
+            "pid": record.pid,
+            "tid": record.pid,
+            "ts": round(record.start * 1e6, 3),
+            "args": dict(record.args),
+        }
+        if record.duration is None:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant
+        else:
+            event["ph"] = "X"
+            event["dur"] = round(record.duration * 1e6, 3)
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: Union[Tracer, List[SpanRecord]], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(trace), handle, indent=1)
+
+
+def to_folded_stacks(trace: Union[Tracer, List[SpanRecord]]) -> str:
+    """Folded-stack text: one ``a;b;c <self_us>`` line per span.
+
+    Self time is the span's duration minus its children's, floored at zero;
+    identical stacks are summed, instants are skipped.  Frame names have
+    ``;`` (the stack separator) replaced with ``,``.
+    """
+    records = _records(trace)
+    by_id = {record.span_id: record for record in records}
+    children_time: Dict[int, float] = {}
+    for record in records:
+        if record.duration is not None and record.parent_id in by_id:
+            children_time[record.parent_id] = children_time.get(record.parent_id, 0.0) + record.duration
+
+    folded: Dict[str, int] = {}
+    for record in records:
+        if record.duration is None:
+            continue
+        frames = []
+        cursor = record
+        while cursor is not None:
+            frames.append(cursor.name.replace(";", ","))
+            cursor = by_id.get(cursor.parent_id) if cursor.parent_id is not None else None
+        stack = ";".join(reversed(frames))
+        self_us = int(round(max(0.0, record.duration - children_time.get(record.span_id, 0.0)) * 1e6))
+        folded[stack] = folded.get(stack, 0) + self_us
+    return "\n".join(f"{stack} {value}" for stack, value in folded.items()) + ("\n" if folded else "")
+
+
+def write_folded_stacks(trace: Union[Tracer, List[SpanRecord]], path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_folded_stacks(trace))
+
+
+def span_summary(trace: Union[Tracer, List[SpanRecord]]) -> Dict[str, Dict[str, float]]:
+    """Per-category aggregate of a trace: span count and total wall-clock.
+
+    The compact JSON-friendly digest benches attach to their payloads
+    (``{"saturation.phase": {"count": 6, "total": 0.012}, ...}``); instants
+    count but contribute no time.
+    """
+    summary: Dict[str, Dict[str, float]] = {}
+    for record in _records(trace):
+        bucket = summary.setdefault(record.category or "span", {"count": 0, "total": 0.0})
+        bucket["count"] += 1
+        if record.duration is not None:
+            bucket["total"] += record.duration
+    for bucket in summary.values():
+        bucket["total"] = round(bucket["total"], 6)
+    return summary

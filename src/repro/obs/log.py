@@ -1,0 +1,111 @@
+"""The structured ``repro.obs.log`` logger: stdlib logging, JSON or console.
+
+Every CLI-side diagnostic in the repo routes through here instead of bare
+``print``: :func:`get_logger` hands out children of the ``repro.obs.log``
+root, and :func:`configure_logging` (called once by the CLI entry point)
+attaches a single stream handler whose formatter is either human-oriented
+console text or one JSON object per line (``{"ts", "level", "logger",
+"event", ...extra}``) for machine consumers.
+
+Library code can log unconditionally — an unconfigured root simply drops
+records below WARNING (stdlib last-resort behaviour), so importing the repo
+as a library never spams stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Optional
+
+__all__ = ["JsonFormatter", "configure_logging", "ensure_configured", "get_logger"]
+
+ROOT_LOGGER = "repro.obs.log"
+
+#: Extra LogRecord attributes injected via ``logger.info(..., extra={...})``
+#: are discovered by diffing against a vanilla record's attribute set.
+_STANDARD_ATTRS = set(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; ``extra=`` kwargs become top-level keys."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _STANDARD_ATTRS and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class ConsoleFormatter(logging.Formatter):
+    """``HH:MM:SS level message`` — terse, grep-friendly."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        message = record.getMessage()
+        if record.levelno >= logging.WARNING:
+            return f"{stamp} {record.levelname.lower()}: {message}"
+        return f"{stamp} {message}"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The ``repro.obs.log`` logger, or its dotted child ``name``."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+def verbosity_level(verbosity: int = 0, quiet: bool = False) -> int:
+    """Map CLI ``-v`` counts / ``--quiet`` onto a logging level."""
+    if quiet:
+        return logging.WARNING
+    return logging.DEBUG if verbosity >= 1 else logging.INFO
+
+
+def configure_logging(
+    verbosity: int = 0,
+    quiet: bool = False,
+    fmt: str = "console",
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """(Re)configure the ``repro.obs.log`` root; returns it.
+
+    Replaces any previous handler (repeat calls — e.g. one per CLI invocation
+    in tests — must not stack handlers), logs to ``stream`` (default stdout,
+    so progress lines stay pipeable alongside ordinary CLI output), and stops
+    propagation so the application root logger never double-prints.
+    """
+    if fmt not in ("console", "json"):
+        raise ValueError(f"unknown log format {fmt!r}; choose console or json")
+    logger = get_logger()
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stdout)
+    handler.setFormatter(JsonFormatter() if fmt == "json" else ConsoleFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(verbosity_level(verbosity, quiet))
+    logger.propagate = False
+    return logger
+
+
+def ensure_configured() -> logging.Logger:
+    """Configure with defaults unless a handler is already attached.
+
+    Library entry points that historically printed (e.g. campaign progress
+    with ``progress=True``) call this so their output still reaches stdout
+    when the host application never ran :func:`configure_logging`.
+    """
+    logger = get_logger()
+    if not logger.handlers:
+        return configure_logging()
+    return logger

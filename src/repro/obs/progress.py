@@ -1,0 +1,90 @@
+"""Live campaign progress: render orchestrate job events as they happen.
+
+``run_campaign(..., on_event=CampaignProgress().handle)`` turns the runner's
+structured per-job events (``job_start`` / ``job_finish`` / ``job_cached`` /
+``campaign_done``) into a live display: on a TTY a single status line is
+rewritten in place (spinner-style), otherwise one plain line per event — so
+``emorphic batch --progress`` is pleasant interactively and still readable
+in CI logs.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Dict, Optional
+
+__all__ = ["CampaignProgress"]
+
+_STATUS_MARKS = {"completed": "ok", "cached": "hit", "failed": "FAIL", "timeout": "TIMEOUT"}
+
+
+class CampaignProgress:
+    """Stateful consumer of campaign events (see executor event schema)."""
+
+    def __init__(self, stream: Optional[IO[str]] = None, live: Optional[bool] = None) -> None:
+        self.stream = stream or sys.stdout
+        isatty = getattr(self.stream, "isatty", lambda: False)
+        self.live = bool(isatty()) if live is None else live
+        self.total = 0
+        self.done = 0
+        self.running: Dict[int, str] = {}
+        self.counts: Dict[str, int] = {}
+        self._line_len = 0
+
+    # -- rendering -----------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        if self.live:
+            # Clear the status line, print the event, redraw the status line.
+            self.stream.write("\r" + " " * self._line_len + "\r")
+            self.stream.write(text + "\n")
+            self._draw_status()
+        else:
+            self.stream.write(text + "\n")
+        self.stream.flush()
+
+    def _draw_status(self) -> None:
+        running = ", ".join(list(self.running.values())[:3])
+        extra = len(self.running) - 3
+        if extra > 0:
+            running += f" +{extra}"
+        line = f"[{self.done}/{self.total}] running: {running or '-'}"
+        self.stream.write("\r" + line.ljust(self._line_len))
+        self._line_len = max(self._line_len, len(line))
+
+    # -- event handling --------------------------------------------------------
+
+    def handle(self, event: Dict[str, object]) -> None:
+        kind = event.get("type")
+        if kind == "campaign_start":
+            self.total = int(event.get("total", 0))
+            self._emit(f"campaign: {self.total} jobs, {event.get('workers', 1)} workers")
+        elif kind == "job_start":
+            self.running[int(event["index"])] = str(event.get("label", "?"))
+            if self.live:
+                self._draw_status()
+                self.stream.flush()
+            else:
+                self._emit(f"  start  {event.get('label', '?')} {str(event.get('key', ''))[:8]}")
+        elif kind in ("job_finish", "job_cached"):
+            index = int(event["index"])
+            self.running.pop(index, None)
+            self.done += 1
+            status = str(event.get("status", "completed"))
+            self.counts[status] = self.counts.get(status, 0) + 1
+            mark = _STATUS_MARKS.get(status, status)
+            elapsed = event.get("elapsed")
+            timing = f" in {elapsed:.1f}s" if isinstance(elapsed, (int, float)) and elapsed else ""
+            detail = f" ({event.get('error')})" if event.get("error") else ""
+            self._emit(
+                f"  [{self.done}/{self.total}] {event.get('label', '?')} "
+                f"{str(event.get('key', ''))[:8]} {mark}{timing}{detail}"
+            )
+        elif kind == "campaign_done":
+            if self.live:
+                self.stream.write("\r" + " " * self._line_len + "\r")
+            summary = ", ".join(f"{k}: {v}" for k, v in sorted(self.counts.items()))
+            wall = event.get("wall_time")
+            timing = f" in {wall:.1f}s" if isinstance(wall, (int, float)) else ""
+            self.stream.write(f"campaign done ({summary or 'no jobs'}){timing}\n")
+            self.stream.flush()

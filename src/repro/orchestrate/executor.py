@@ -9,23 +9,33 @@ campaign's jobs are fully independent.  The executor
   worker or when the platform refuses to fork),
 * captures failures and per-job timeouts as outcomes instead of aborting
   the campaign, and
-* reports progress live through a callback.
+* reports progress live: legacy one-line-per-event strings through
+  ``progress`` and structured event dicts through ``on_event`` (the schema
+  :class:`repro.obs.progress.CampaignProgress` renders — ``campaign_start``,
+  ``job_start``, ``job_finish``, ``job_cached``, ``campaign_done``).
+
+When the caller has a tracer installed (``repro.obs.trace``), pool workers
+run their jobs under a local tracer and ship the span buffer back inside the
+job record; the parent grafts it into its trace as each job completes (and
+strips it before the record hits the store).
 """
 
 from __future__ import annotations
 
 import os
-import sys
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.obs import trace as obs
+from repro.obs.log import ensure_configured, get_logger
 from repro.orchestrate.jobs import JobSpec, run_job
 from repro.orchestrate.store import ResultStore
 
 ProgressFn = Callable[[str], None]
+EventFn = Callable[[Dict[str, object]], None]
 
 #: Outcome statuses in display order.
 STATUSES = ("completed", "cached", "failed", "timeout")
@@ -105,8 +115,10 @@ def default_max_workers(num_jobs: int) -> int:
 
 
 def _print_progress(message: str) -> None:
-    print(message)
-    sys.stdout.flush()
+    # Route the legacy string channel through the structured logger; the
+    # console formatter keeps each message greppable on stdout.
+    ensure_configured()
+    get_logger("orchestrate").info(message)
 
 
 def run_campaign(
@@ -116,30 +128,38 @@ def run_campaign(
     job_timeout: Optional[float] = None,
     use_cache: bool = True,
     progress: Union[None, bool, ProgressFn] = None,
+    on_event: Optional[EventFn] = None,
 ) -> CampaignReport:
     """Run ``jobs`` through the process pool, short-circuiting cache hits.
 
     ``store`` may be a :class:`ResultStore`, a path, or None for the default
     store.  ``job_timeout`` bounds each job's run time (the stuck worker
     process is abandoned at pool shutdown, not killed mid-job).  ``progress``
-    is a callback receiving one line per event; ``True`` prints to stdout.
+    is a callback receiving one line per event; ``True`` logs to stdout.
+    ``on_event`` receives the structured event dicts
+    (``campaign_start`` / ``job_start`` / ``job_finish`` / ``job_cached`` /
+    ``campaign_done``) that feed live progress rendering.
     """
     if not isinstance(store, ResultStore):
         store = ResultStore(store)
     if progress is True:
         progress = _print_progress
     emit: ProgressFn = progress if callable(progress) else (lambda message: None)
+    emit_event: EventFn = on_event if callable(on_event) else (lambda event: None)
+    tracer = obs.current_tracer()
 
     start = time.perf_counter()
     keyed = [(spec, spec.job_hash()) for spec in jobs]
     outcomes: Dict[int, JobOutcome] = {}
     pending: List[int] = []
+    cached: List[int] = []
     total = len(keyed)
 
     for index, (spec, key) in enumerate(keyed):
         record = store.get(key) if use_cache else None
         if record is not None:
             outcomes[index] = JobOutcome(spec=spec, key=key, status="cached", record=record)
+            cached.append(index)
             emit(f"[{len(outcomes)}/{total}] {spec.label} {key[:8]} cached")
         else:
             pending.append(index)
@@ -147,21 +167,30 @@ def run_campaign(
     workers = max_workers if max_workers is not None else default_max_workers(len(pending))
     workers = max(1, workers)
 
+    emit_event({"type": "campaign_start", "total": total, "workers": workers})
+    for index in cached:
+        spec, key = keyed[index]
+        emit_event(
+            {"type": "job_cached", "index": index, "label": spec.label, "key": key, "status": "cached"}
+        )
+
     if pending:
         # Timeouts need process isolation to be enforceable, so a requested
         # job_timeout forces the pool path even for a single worker.
         if workers == 1 and job_timeout is None:
-            _run_serial(keyed, pending, store, outcomes, total, emit)
+            _run_serial(keyed, pending, store, outcomes, total, emit, emit_event)
         else:
             try:
-                _run_pool(keyed, pending, store, workers, job_timeout, outcomes, total, emit)
+                _run_pool(
+                    keyed, pending, store, workers, job_timeout, outcomes, total, emit, emit_event, tracer
+                )
             except (OSError, PermissionError) as exc:
                 # Platforms that refuse to spawn processes fall back to serial.
                 warning = "; per-job timeouts cannot be enforced serially" if job_timeout else ""
                 emit(f"process pool unavailable ({exc}); running serially{warning}")
                 workers = 1
                 remaining = [index for index in pending if index not in outcomes]
-                _run_serial(keyed, remaining, store, outcomes, total, emit)
+                _run_serial(keyed, remaining, store, outcomes, total, emit, emit_event)
 
     report = CampaignReport(
         outcomes=[outcomes[index] for index in range(total)],
@@ -169,6 +198,7 @@ def run_campaign(
         max_workers=workers,
     )
     emit(report.summary_line())
+    emit_event({"type": "campaign_done", "counts": report.counts, "wall_time": report.wall_time})
     return report
 
 
@@ -179,19 +209,44 @@ def _finish(
     store: ResultStore,
     total: int,
     emit: ProgressFn,
+    emit_event: EventFn,
 ) -> None:
     if outcome.status == "completed" and outcome.record is not None:
         store.put(outcome.key, outcome.record)
     outcomes[index] = outcome
     detail = f"in {outcome.elapsed:.1f}s" if outcome.status == "completed" else (outcome.error or "")
     emit(f"[{len(outcomes)}/{total}] {outcome.spec.label} {outcome.key[:8]} {outcome.status} {detail}".rstrip())
+    emit_event(
+        {
+            "type": "job_finish",
+            "index": index,
+            "label": outcome.spec.label,
+            "key": outcome.key,
+            "status": outcome.status,
+            "elapsed": outcome.elapsed,
+            "error": outcome.error,
+        }
+    )
 
 
-def _run_serial(keyed, pending, store, outcomes, total, emit) -> None:
+def _merge_job_trace(record, tracer) -> None:
+    """Graft a worker job's span buffer into the parent trace (and drop it
+    from the record so stored results stay trace-free)."""
+    if not isinstance(record, dict):
+        return
+    buffer = record.pop("trace", None)
+    if buffer and tracer is not None:
+        tracer.merge(buffer)
+
+
+def _run_serial(keyed, pending, store, outcomes, total, emit, emit_event) -> None:
     for index in pending:
         spec, key = keyed[index]
+        emit_event({"type": "job_start", "index": index, "label": spec.label, "key": key})
         t0 = time.perf_counter()
         try:
+            # In-process jobs record straight into the caller's tracer (when
+            # one is installed), so there is no buffer to merge here.
             record = run_job(spec, key)
             outcome = JobOutcome(
                 spec=spec, key=key, status="completed", record=record, elapsed=time.perf_counter() - t0
@@ -204,10 +259,12 @@ def _run_serial(keyed, pending, store, outcomes, total, emit) -> None:
                 error=traceback.format_exc(limit=8),
                 elapsed=time.perf_counter() - t0,
             )
-        _finish(outcomes, index, outcome, store, total, emit)
+        _finish(outcomes, index, outcome, store, total, emit, emit_event)
 
 
-def _run_pool(keyed, pending, store, workers, job_timeout, outcomes, total, emit) -> None:
+def _run_pool(
+    keyed, pending, store, workers, job_timeout, outcomes, total, emit, emit_event, tracer=None
+) -> None:
     # Jobs are submitted in a sliding window of at most one per free worker,
     # so a future's submission time is (within scheduler noise) its start
     # time and job_timeout genuinely bounds run time, not queueing.
@@ -224,10 +281,11 @@ def _run_pool(keyed, pending, store, workers, job_timeout, outcomes, total, emit
         while queue and len(active) + len(zombies) < workers:
             index = queue.pop(0)
             spec, key = keyed[index]
-            future = pool.submit(run_job, spec, key)
+            future = pool.submit(run_job, spec, key, tracer is not None)
             futures[future] = index
             submitted[future] = time.perf_counter()
             active.add(future)
+            emit_event({"type": "job_start", "index": index, "label": spec.label, "key": key})
 
     try:
         submit_available()
@@ -252,7 +310,7 @@ def _run_pool(keyed, pending, store, workers, job_timeout, outcomes, total, emit
                         status="timeout",
                         error="worker pool exhausted by timed-out jobs",
                     )
-                    _finish(outcomes, index, outcome, store, total, emit)
+                    _finish(outcomes, index, outcome, store, total, emit, emit_event)
                 break
             for future in done:
                 if future in zombies:
@@ -265,14 +323,16 @@ def _run_pool(keyed, pending, store, workers, job_timeout, outcomes, total, emit
                 elapsed = now - submitted[future]
                 exc = future.exception()
                 if exc is None:
+                    record = future.result()
+                    _merge_job_trace(record, tracer)
                     outcome = JobOutcome(
-                        spec=spec, key=key, status="completed", record=future.result(), elapsed=elapsed
+                        spec=spec, key=key, status="completed", record=record, elapsed=elapsed
                     )
                 else:
                     outcome = JobOutcome(
                         spec=spec, key=key, status="failed", error=repr(exc), elapsed=elapsed
                     )
-                _finish(outcomes, index, outcome, store, total, emit)
+                _finish(outcomes, index, outcome, store, total, emit, emit_event)
             if job_timeout is not None:
                 for future in list(active):
                     if now - submitted[future] >= job_timeout:
@@ -288,7 +348,7 @@ def _run_pool(keyed, pending, store, workers, job_timeout, outcomes, total, emit
                             error=f"exceeded {job_timeout:.0f}s",
                             elapsed=now - submitted[future],
                         )
-                        _finish(outcomes, index, outcome, store, total, emit)
+                        _finish(outcomes, index, outcome, store, total, emit, emit_event)
             submit_available()
     finally:
         # Snapshot worker handles first: shutdown() nulls pool._processes.

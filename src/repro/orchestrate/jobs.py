@@ -27,6 +27,7 @@ from repro.aig.io_aiger import aag_to_string, read_aag
 from repro.benchgen import epfl
 from repro.flows.baseline import BaselineConfig, run_baseline_flow
 from repro.flows.emorphic import EmorphicConfig, run_emorphic_flow
+from repro.obs import trace as obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.pipeline import Pipeline
@@ -229,27 +230,41 @@ def _worker_ml_model(seed: int = 0):
     return _ML_MODEL_CACHE[seed]
 
 
-def run_job(spec: JobSpec, key: Optional[str] = None) -> Dict[str, object]:
+def run_job(spec: JobSpec, key: Optional[str] = None, traced: bool = False) -> Dict[str, object]:
     """Execute one job and return its store record (runs inside workers).
 
     ``key`` is the precomputed job hash; when omitted it is derived from the
     spec (hashing re-renders the circuit content, so callers that already
-    hold the key should pass it).
+    hold the key should pass it).  ``traced=True`` (set by the executor when
+    the campaign parent traces) installs a job-local tracer and ships its
+    exported span buffer back under ``record["trace"]``; the executor merges
+    and strips it before the record is stored.
     """
+    if traced:
+        # Install a *fresh* job-local tracer: forked pool workers inherit the
+        # parent's tracer object, but records appended to that copy are never
+        # seen by the parent — the exported buffer is the only channel back.
+        with obs.tracing() as tracer:
+            record = run_job(spec, key)
+        record["trace"] = tracer.export()
+        return record
     aig = spec.circuit.build()
+    # Wall-clock timestamp of the record (when the run happened); durations
+    # below are measured with the monotonic perf_counter clock instead.
     started = time.time()
     t0 = time.perf_counter()
-    if spec.flow == "baseline":
-        result = run_baseline_flow(aig, BaselineConfig.from_dict(spec.config))
-    elif spec.flow == "pipeline":
-        from repro.pipeline import Pipeline
+    with obs.span("job", category="orchestrate", label=spec.label, flow=spec.flow):
+        if spec.flow == "baseline":
+            result = run_baseline_flow(aig, BaselineConfig.from_dict(spec.config))
+        elif spec.flow == "pipeline":
+            from repro.pipeline import Pipeline
 
-        result = Pipeline.from_spec(spec.config).run_flow(aig)
-    else:
-        config = EmorphicConfig.from_dict(spec.config)
-        if config.use_ml_model and config.ml_model is None:
-            config.ml_model = _worker_ml_model()
-        result = run_emorphic_flow(aig, config)
+            result = Pipeline.from_spec(spec.config).run_flow(aig)
+        else:
+            config = EmorphicConfig.from_dict(spec.config)
+            if config.use_ml_model and config.ml_model is None:
+                config.ml_model = _worker_ml_model()
+            result = run_emorphic_flow(aig, config)
     wall_time = time.perf_counter() - t0
     return {
         "schema": SCHEMA_VERSION,

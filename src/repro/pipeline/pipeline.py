@@ -25,6 +25,7 @@ from repro.aig.levels import logic_depth
 from repro.egraph.runner import RunnerReport
 from repro.mapping.cut_mapping import MappingResult
 from repro.mapping.library import Library
+from repro.obs import trace as obs
 from repro.pipeline.context import FlowContext, PassEndHook, PassStartHook, PipelineError
 from repro.pipeline.script import parse_script, render_script
 from repro.pipeline.passes import resolve_pass
@@ -241,16 +242,20 @@ class Pipeline:
             on_pass_start=on_pass_start,
             on_pass_end=on_pass_end,
         )
-        for step in self.steps:
-            spec = resolve_pass(step.pass_name)
-            if ctx.on_pass_start is not None:
-                ctx.on_pass_start(spec.name, ctx)
-            t0 = time.perf_counter()
-            spec.run(ctx, step.param_dict)
-            elapsed = time.perf_counter() - t0
-            ctx.record_timing(spec.name, step.phase_label, elapsed)
-            if ctx.on_pass_end is not None:
-                ctx.on_pass_end(spec.name, ctx, elapsed)
+        # The per-pass span is the single timing source: its duration feeds
+        # the context's timing ledger (and, when a tracer is installed, the
+        # flow → pass levels of the trace).
+        with obs.span("pipeline", category="flow", script=self.to_script()):
+            for step in self.steps:
+                spec = resolve_pass(step.pass_name)
+                if ctx.on_pass_start is not None:
+                    ctx.on_pass_start(spec.name, ctx)
+                with obs.span(spec.name, category="pass", phase=step.phase_label) as pass_span:
+                    spec.run(ctx, step.param_dict)
+                elapsed = pass_span.duration
+                ctx.record_timing(spec.name, step.phase_label, elapsed)
+                if ctx.on_pass_end is not None:
+                    ctx.on_pass_end(spec.name, ctx, elapsed)
         return ctx
 
     def run_flow(
