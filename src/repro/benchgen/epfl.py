@@ -1,9 +1,12 @@
 """Registry of EPFL-like benchmark circuits.
 
 The ten circuits of the paper's Table II, replaced by synthetic generators
-of the same family.  Two size presets exist: ``"test"`` (tiny, for unit
-tests) and ``"bench"`` (the default experiment scale, chosen so the whole
-Table II harness finishes in minutes of pure Python).
+of the same family.  Three size presets exist: ``"test"`` (tiny, for unit
+tests), ``"bench"`` (the default experiment scale, chosen so the whole
+Table II harness finishes in minutes of pure Python), and ``"large"``
+(10-100x the bench AND counts — partition-scale inputs far beyond what the
+monolithic saturation engine can finish, the regime ``repro.partition`` is
+built for).
 """
 
 from __future__ import annotations
@@ -25,7 +28,12 @@ class CircuitSpec:
     builder: Callable[..., Aig]
     test_kwargs: Dict[str, int]
     bench_kwargs: Dict[str, int]
+    #: Partition-scale arguments (10-100x the bench AND counts).
+    large_kwargs: Dict[str, int]
 
+
+#: Preset names accepted by :func:`build` and every CLI ``--preset`` flag.
+PRESETS = ("test", "bench", "large")
 
 _REGISTRY: Dict[str, CircuitSpec] = {}
 
@@ -34,15 +42,35 @@ def _register(spec: CircuitSpec) -> None:
     _REGISTRY[spec.name] = spec
 
 
-_register(CircuitSpec("adder", "arithmetic", arithmetic.adder, {"width": 8}, {"width": 32}))
-_register(CircuitSpec("multiplier", "arithmetic", arithmetic.multiplier, {"width": 4}, {"width": 8}))
-_register(CircuitSpec("square", "arithmetic", arithmetic.square, {"width": 4}, {"width": 8}))
-_register(CircuitSpec("div", "arithmetic", arithmetic.divider, {"width": 4}, {"width": 8}))
-_register(CircuitSpec("sqrt", "arithmetic", arithmetic.sqrt, {"width": 6}, {"width": 12}))
-_register(CircuitSpec("log2", "arithmetic", arithmetic.log2_approx, {"width": 5}, {"width": 9}))
-_register(CircuitSpec("sin", "arithmetic", arithmetic.sin_approx, {"width": 5}, {"width": 8}))
-_register(CircuitSpec("hyp", "arithmetic", arithmetic.hyp_approx, {"width": 4, "stages": 2}, {"width": 6, "stages": 3}))
-_register(CircuitSpec("arbiter", "control", control.arbiter, {"num_requesters": 8}, {"num_requesters": 20}))
+_register(CircuitSpec("adder", "arithmetic", arithmetic.adder, {"width": 8}, {"width": 32}, {"width": 512}))
+_register(
+    CircuitSpec("multiplier", "arithmetic", arithmetic.multiplier, {"width": 4}, {"width": 8}, {"width": 32})
+)
+_register(CircuitSpec("square", "arithmetic", arithmetic.square, {"width": 4}, {"width": 8}, {"width": 32}))
+_register(CircuitSpec("div", "arithmetic", arithmetic.divider, {"width": 4}, {"width": 8}, {"width": 32}))
+_register(CircuitSpec("sqrt", "arithmetic", arithmetic.sqrt, {"width": 6}, {"width": 12}, {"width": 48}))
+_register(CircuitSpec("log2", "arithmetic", arithmetic.log2_approx, {"width": 5}, {"width": 9}, {"width": 28}))
+_register(CircuitSpec("sin", "arithmetic", arithmetic.sin_approx, {"width": 5}, {"width": 8}, {"width": 24}))
+_register(
+    CircuitSpec(
+        "hyp",
+        "arithmetic",
+        arithmetic.hyp_approx,
+        {"width": 4, "stages": 2},
+        {"width": 6, "stages": 3},
+        {"width": 16, "stages": 6},
+    )
+)
+_register(
+    CircuitSpec(
+        "arbiter",
+        "control",
+        control.arbiter,
+        {"num_requesters": 8},
+        {"num_requesters": 20},
+        {"num_requesters": 64},
+    )
+)
 _register(
     CircuitSpec(
         "mem_ctrl",
@@ -50,6 +78,7 @@ _register(
         control.mem_ctrl,
         {"num_banks": 2, "addr_bits": 6, "num_requesters": 3},
         {"num_banks": 4, "addr_bits": 10, "num_requesters": 6},
+        {"num_banks": 64, "addr_bits": 24, "num_requesters": 256},
     )
 )
 
@@ -76,8 +105,8 @@ def available_circuits() -> List[str]:
 def build(name: str, preset: str = "bench", **overrides) -> Aig:
     """Build one benchmark circuit by name.
 
-    ``preset`` is "test" or "bench"; keyword overrides go straight to the
-    generator (e.g. ``build("adder", width=16)``).
+    ``preset`` is one of :data:`PRESETS`; keyword overrides go straight to
+    the generator (e.g. ``build("adder", width=16)``).
     """
     if name not in _REGISTRY:
         raise KeyError(f"unknown circuit {name!r}; available: {available_circuits()}")
@@ -86,8 +115,10 @@ def build(name: str, preset: str = "bench", **overrides) -> Aig:
         kwargs = dict(spec.test_kwargs)
     elif preset == "bench":
         kwargs = dict(spec.bench_kwargs)
+    elif preset == "large":
+        kwargs = dict(spec.large_kwargs)
     else:
-        raise ValueError(f"unknown preset {preset!r} (use 'test' or 'bench')")
+        raise ValueError(f"unknown preset {preset!r} (use one of {', '.join(PRESETS)})")
     kwargs.update(overrides)
     aig = spec.builder(**kwargs)
     aig.name = name

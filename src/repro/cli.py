@@ -15,7 +15,11 @@ Subcommands:
 * ``extract-bench`` — benchmark the extraction engine (legacy SA loop vs
   delta-cost vs island portfolio, CEC-guarded) and write
   ``BENCH_extraction.json``, with the same ``--reference`` regression gate;
-* ``list``      — list available benchmark circuits;
+* ``partition-bench`` — benchmark partition-and-conquer against monolithic
+  saturation at equal limits (the partitioned run completes where the
+  monolithic engine trips its caps) and write ``BENCH_partition.json``;
+* ``list``      — list available benchmark circuits with per-preset
+  PI/PO/AND/level statistics;
 * ``batch``     — run a whole campaign (circuits x flows, or circuits x a
   scripted pipeline via ``--script``) process-parallel with persistent
   result caching;
@@ -68,7 +72,9 @@ def _add_circuit_args(parser: argparse.ArgumentParser, positional: bool = True) 
         parser.add_argument(
             "-c", "--circuit", required=True, help="benchmark name (see 'list') or path to an .aag file"
         )
-    parser.add_argument("--preset", default="test", choices=["test", "bench"], help="benchmark size preset")
+    parser.add_argument(
+        "--preset", default="test", choices=list(epfl.PRESETS), help="benchmark size preset"
+    )
 
 
 def _resolve_circuit(args: argparse.Namespace) -> None:
@@ -175,9 +181,26 @@ def _emorphic_config(args: argparse.Namespace) -> EmorphicConfig:
     return config
 
 
-def cmd_list(_: argparse.Namespace) -> int:
+def cmd_list(args: argparse.Namespace) -> int:
+    presets = [p.strip() for p in (args.presets or "").split(",") if p.strip()]
+    for preset in presets:
+        if preset not in epfl.PRESETS:
+            raise SystemExit(f"unknown preset {preset!r}; choose from {', '.join(epfl.PRESETS)}")
+    if not presets:
+        for name in epfl.available_circuits():
+            print(f"{name:12s} ({epfl.circuit_family(name)})")
+        return 0
+    header = f"{'circuit':12s} {'family':11s}"
+    for preset in presets:
+        header += f" {preset + ' pi/po/and/lev':>24s}"
+    print(header)
     for name in epfl.available_circuits():
-        print(f"{name:12s} ({epfl.circuit_family(name)})")
+        row = f"{name:12s} {epfl.circuit_family(name):11s}"
+        for preset in presets:
+            stats = epfl.build(name, preset=preset).stats()
+            cell = f"{stats['pis']}/{stats['pos']}/{stats['ands']}/{stats['levels']}"
+            row += f" {cell:>24s}"
+        print(row)
     return 0
 
 
@@ -400,6 +423,34 @@ def cmd_extract_bench(args: argparse.Namespace) -> int:
     return _bench_epilogue(payload, args)
 
 
+def cmd_partition_bench(args: argparse.Namespace) -> int:
+    from repro.partition.bench import check_completions, render_bench, run_partition_bench
+
+    with _maybe_trace(args):
+        payload = run_partition_bench(
+            circuits=_validated_circuits(args.circuits),
+            preset=args.preset,
+            fast=args.fast,
+            k=args.k,
+            method=args.method,
+            seed=args.seed,
+            workers=args.workers,
+            iters=args.iters,
+            max_nodes=args.max_nodes,
+            budget=args.budget,
+            progress=(lambda message: _LOG.info(f"  {message}")),
+        )
+    print(render_bench(payload))
+    completions = check_completions(payload)
+    status = _bench_epilogue(payload, args)
+    if completions:
+        print("PARTITION BENCH GATE FAILED:")
+        for failure in completions:
+            print(f"  {failure}")
+        return 1
+    return status
+
+
 # --------------------------------------------------------------------------
 # Campaign orchestration (batch / sweep / cache).
 
@@ -410,7 +461,9 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="comma-separated benchmark names (default: the full Table II suite)",
     )
-    parser.add_argument("--preset", default="test", choices=["test", "bench"], help="benchmark size preset")
+    parser.add_argument(
+        "--preset", default="test", choices=list(epfl.PRESETS), help="benchmark size preset"
+    )
     parser.add_argument(
         "--profile",
         default="fast",
@@ -625,6 +678,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list available benchmark circuits")
+    p_list.add_argument(
+        "--presets",
+        default="test,bench",
+        help="comma-separated presets to show pi/po/and/level stats for "
+        "('' for names only; 'large' is slower to generate)",
+    )
     p_list.set_defaults(func=cmd_list)
 
     p_stats = sub.add_parser("stats", help="print AIG statistics")
@@ -691,7 +750,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated benchmark names (default: the largest benchgen circuits)",
     )
-    p_bench.add_argument("--preset", default="bench", choices=["test", "bench"], help="benchmark size preset")
+    p_bench.add_argument(
+        "--preset", default="bench", choices=list(epfl.PRESETS), help="benchmark size preset"
+    )
     p_bench.add_argument(
         "--fast",
         action="store_true",
@@ -727,7 +788,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated benchmark names (default: the largest benchgen circuits)",
     )
-    p_ebench.add_argument("--preset", default="bench", choices=["test", "bench"], help="benchmark size preset")
+    p_ebench.add_argument(
+        "--preset", default="bench", choices=list(epfl.PRESETS), help="benchmark size preset"
+    )
     p_ebench.add_argument(
         "--fast",
         action="store_true",
@@ -755,6 +818,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail when wall-clock exceeds reference by this factor",
     )
     p_ebench.set_defaults(func=cmd_extract_bench)
+
+    p_pbench = sub.add_parser(
+        "partition-bench",
+        help="benchmark partition-and-conquer vs monolithic saturation at equal "
+        "limits and write BENCH_partition.json",
+    )
+    p_pbench.add_argument(
+        "--circuits",
+        default=None,
+        help="comma-separated benchmark names (default: large-preset log2,sin)",
+    )
+    p_pbench.add_argument(
+        "--preset", default="large", choices=list(epfl.PRESETS), help="benchmark size preset"
+    )
+    p_pbench.add_argument(
+        "--fast",
+        action="store_true",
+        help="CI profile: one test-preset circuit, tiny windows, node cap sized so "
+        "the monolithic run deterministically fails where the windows complete",
+    )
+    p_pbench.add_argument("--k", type=int, default=None, help="window capacity (AND nodes)")
+    p_pbench.add_argument(
+        "--method",
+        default="cone",
+        choices=["cone", "window"],
+        help="partitioning method (fanout-free cones or structural level cuts)",
+    )
+    p_pbench.add_argument("--seed", type=int, default=0, help="decomposition cut-phase seed")
+    p_pbench.add_argument(
+        "--workers", type=int, default=None, help="window worker processes (default: CPU count; 0 = inline)"
+    )
+    p_pbench.add_argument("--iters", type=int, default=None, help="saturation iterations per run")
+    p_pbench.add_argument("--max-nodes", type=int, default=None, help="e-graph node cap per run")
+    p_pbench.add_argument(
+        "--budget", type=float, default=None, help="shared wall-clock budget per circuit (s)"
+    )
+    p_pbench.add_argument(
+        "--json", default="BENCH_partition.json", help="write the payload to this file ('' to skip)"
+    )
+    p_pbench.add_argument(
+        "--reference",
+        default=None,
+        help="compare against this checked-in bench payload and fail on regression",
+    )
+    p_pbench.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when wall-clock exceeds reference by this factor",
+    )
+    _add_trace_arg(p_pbench)
+    p_pbench.set_defaults(func=cmd_partition_bench)
 
     p_batch = sub.add_parser(
         "batch", help="run a campaign of circuits x flows process-parallel with caching"

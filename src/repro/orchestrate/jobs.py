@@ -43,7 +43,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
 #: 4: extraction runs on the island-parallel portfolio engine by default —
 #:    EmorphicConfig carries extraction_engine/migrate_every, and result
 #:    payloads embed the ExtractionProfile under "extraction".
-SCHEMA_VERSION = 4
+#: 5: pipeline results embed the PartitionProfile under "partition" when a
+#:    script runs the partition/stitch passes.
+SCHEMA_VERSION = 5
 
 FLOWS = ("baseline", "emorphic", "pipeline")
 

@@ -1,0 +1,158 @@
+"""Telemetry for partitioned runs: per-window reports and the run profile.
+
+``PartitionProfile`` is the partition analogue of the engine's
+``SaturationProfile`` / ``ExtractionProfile`` — a plain serialisable record
+that rides in pipeline results under the ``"partition"`` key (next to
+``"saturation"`` and ``"extraction"``), in orchestration payloads, and in
+``BENCH_partition.json``.  Every window contributes a ``WindowReport`` with
+its boundary shape, what the saturate/extract stages did, the CEC verdict,
+and the accept/revert decision, so a partitioned run can be audited window
+by window after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+#: Terminal statuses a window optimization can land in.
+WINDOW_STATUSES = ("accepted", "reverted_cec", "reverted_no_gain", "failed")
+
+
+@dataclass
+class WindowReport:
+    """What happened to one window during partitioned optimization."""
+
+    index: int
+    members: int = 0
+    inputs: int = 0
+    outputs: int = 0
+    ands_before: int = 0
+    ands_after: int = 0
+    levels_before: int = 0
+    levels_after: int = 0
+    #: One of :data:`WINDOW_STATUSES`.  Anything but ``"accepted"`` means the
+    #: window keeps its original cone (fail-soft).
+    status: str = "failed"
+    cec: Optional[str] = None
+    saturation_stop: Optional[str] = None
+    saturation_iterations: int = 0
+    egraph_nodes: int = 0
+    extract_cost: Optional[float] = None
+    wall_time: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.status == "accepted"
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "WindowReport":
+        return cls(**payload)
+
+
+@dataclass
+class PartitionProfile:
+    """Aggregate telemetry of one partitioned optimization run."""
+
+    method: str = "cone"
+    k: int = 0
+    seed: int = 0
+    workers: int = 0
+    num_windows: int = 0
+    windows: List[WindowReport] = field(default_factory=list)
+    ands_before: int = 0
+    ands_after: int = 0
+    levels_before: int = 0
+    levels_after: int = 0
+    partition_time: float = 0.0
+    optimize_time: float = 0.0
+    stitch_time: float = 0.0
+    wall_time: float = 0.0
+    final_cec: Optional[str] = None
+
+    @property
+    def accepted_windows(self) -> int:
+        return sum(1 for w in self.windows if w.status == "accepted")
+
+    @property
+    def reverted_windows(self) -> int:
+        return sum(1 for w in self.windows if w.status.startswith("reverted"))
+
+    @property
+    def failed_windows(self) -> int:
+        return sum(1 for w in self.windows if w.status == "failed")
+
+    def window_sizes(self) -> List[int]:
+        return [w.members for w in self.windows]
+
+    def status_counts(self) -> Dict[str, int]:
+        counts = {status: 0 for status in WINDOW_STATUSES}
+        for window in self.windows:
+            counts[window.status] = counts.get(window.status, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "method": self.method,
+            "k": self.k,
+            "seed": self.seed,
+            "workers": self.workers,
+            "num_windows": self.num_windows,
+            "ands_before": self.ands_before,
+            "ands_after": self.ands_after,
+            "levels_before": self.levels_before,
+            "levels_after": self.levels_after,
+            "accepted_windows": self.accepted_windows,
+            "reverted_windows": self.reverted_windows,
+            "failed_windows": self.failed_windows,
+            "window_sizes": self.window_sizes(),
+            "status_counts": self.status_counts(),
+            "partition_time": self.partition_time,
+            "optimize_time": self.optimize_time,
+            "stitch_time": self.stitch_time,
+            "wall_time": self.wall_time,
+            "final_cec": self.final_cec,
+            "windows": [w.to_dict() for w in self.windows],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PartitionProfile":
+        profile = cls(
+            method=payload.get("method", "cone"),
+            k=payload.get("k", 0),
+            seed=payload.get("seed", 0),
+            workers=payload.get("workers", 0),
+            num_windows=payload.get("num_windows", 0),
+            ands_before=payload.get("ands_before", 0),
+            ands_after=payload.get("ands_after", 0),
+            levels_before=payload.get("levels_before", 0),
+            levels_after=payload.get("levels_after", 0),
+            partition_time=payload.get("partition_time", 0.0),
+            optimize_time=payload.get("optimize_time", 0.0),
+            stitch_time=payload.get("stitch_time", 0.0),
+            wall_time=payload.get("wall_time", 0.0),
+            final_cec=payload.get("final_cec"),
+        )
+        profile.windows = [WindowReport.from_dict(w) for w in payload.get("windows", [])]
+        return profile
+
+    def render(self) -> str:
+        """Short human-readable digest for CLI output."""
+        counts = self.status_counts()
+        parts = [
+            f"partition: method={self.method} k={self.k} seed={self.seed} "
+            f"windows={self.num_windows} workers={self.workers}",
+            f"  ands {self.ands_before} -> {self.ands_after}, "
+            f"levels {self.levels_before} -> {self.levels_after}",
+            f"  accepted={counts['accepted']} reverted_cec={counts['reverted_cec']} "
+            f"reverted_no_gain={counts['reverted_no_gain']} failed={counts['failed']}",
+            f"  times: partition={self.partition_time:.2f}s optimize={self.optimize_time:.2f}s "
+            f"stitch={self.stitch_time:.2f}s wall={self.wall_time:.2f}s",
+        ]
+        if self.final_cec is not None:
+            parts.append(f"  final cec: {self.final_cec}")
+        return "\n".join(parts)

@@ -62,6 +62,12 @@ class FlowContext:
     rewrite_report: Optional[RunnerReport] = None
     #: Extraction-engine telemetry; set by ``extract(sa, engine=portfolio)``.
     extraction_profile: Optional[object] = None
+    #: Pending partition plan; set by ``partition``, consumed by ``stitch``.
+    #: While it is live, ``saturate``/``extract`` stage parameters into it
+    #: instead of executing (see the ``partition`` pass docs).
+    partition_plan: Optional[object] = None
+    #: Partitioned-run telemetry; set by ``stitch``.
+    partition_profile: Optional[object] = None
     equivalence: Optional[CecResult] = None
     #: Optional learned cost model consumed by ``extract(use_ml=true)``.
     ml_model: Optional[object] = None
@@ -87,9 +93,10 @@ class FlowContext:
         return self.circuit
 
     def invalidate_derived(self) -> None:
-        """Drop e-graph/candidate state after the working AIG changed."""
+        """Drop e-graph/candidate/partition state after the working AIG changed."""
         self.circuit = None
         self.candidates = []
+        self.partition_plan = None
 
     # -- timing ledger ------------------------------------------------------
 

@@ -13,6 +13,11 @@ Kinds:
 * ``convert`` — ``dag2eg``, the direct DAG-to-DAG AIG → e-graph conversion.
 * ``egraph`` — ``saturate``, equality saturation on the circuit e-graph.
 * ``extract`` — ``extract``, e-graph → candidate AIGs (SA/greedy/random).
+* ``partition`` — ``partition``/``stitch``, windowed saturate+extract for
+  circuits beyond the monolithic engine's ceiling.  ``partition`` parks a
+  plan on the context; ``saturate``/``extract`` *stage* their parameters
+  into a pending plan instead of executing; ``stitch`` runs the per-window
+  fan-out and splices the results back, CEC-guarded.
 * ``map`` — ``premap``/``map``, technology mapping (choice-aware).
 * ``verify`` — ``cec``, equivalence check against the pipeline's input.
 """
@@ -20,7 +25,7 @@ Kinds:
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Callable, Dict, List, Tuple
 
@@ -42,6 +47,14 @@ from repro.opt.refactor import refactor
 from repro.opt.rewrite import rewrite
 from repro.opt.scripts import delay_opt_script, resyn2_script
 from repro.opt.sop_balance import sop_balance
+from repro.partition import (
+    PARTITION_METHODS,
+    PartitionConfig,
+    PartitionPlan,
+    WindowOptConfig,
+    partition_aig,
+    partitioned_optimize,
+)
 from repro.pipeline.context import FlowContext, PipelineError
 from repro.pipeline.values import render_value
 from repro.verify.cec import check_equivalence
@@ -228,12 +241,30 @@ def _pass_saturate(
     every iteration.  ``index``/``dedup`` toggle op-indexed e-matching and
     cross-iteration match deduplication — ``saturate(scheduler=simple,
     dedup=false)`` is byte-for-byte the legacy runner loop.
+
+    After a ``partition`` pass the parameters are *staged* into the pending
+    plan (applied per window when ``stitch`` runs) instead of saturating a
+    whole-circuit e-graph.
     """
-    circuit = ctx.require_egraph("saturate")
     if scheduler not in SCHEDULERS:
         raise PipelineError(
             f"unknown scheduler {scheduler!r}; choose from {', '.join(SCHEDULERS)}"
         )
+    plan = ctx.partition_plan
+    if plan is not None:
+        plan.window_config = replace(
+            plan.window_config,
+            iters=iters,
+            max_nodes=max_nodes,
+            time_limit=time_limit,
+            scheduler=scheduler,
+            index=index,
+            dedup=dedup,
+        )
+        plan.saturate_staged = True
+        ctx.metrics["saturation_staged"] = True
+        return
+    circuit = ctx.require_egraph("saturate")
     engine = SaturationEngine(
         circuit.egraph,
         boolean_rules(),
@@ -290,14 +321,38 @@ def _pass_extract(
     campaigns already parallelise across jobs; results are identical either
     way, so ``workers=N`` is purely a throughput knob for big budgets.
     ``p_random``/``temperature``/``pruned`` only shape the legacy loop.
+
+    After a ``partition`` pass the parameters are *staged* into the pending
+    plan (applied per window when ``stitch`` runs); only ``sa`` (portfolio)
+    and ``greedy`` extraction are available per window.
     """
-    circuit = ctx.require_egraph("extract")
     if method not in EXTRACT_METHODS:
         raise PipelineError(
             f"unknown extraction method {method!r}; choose from {', '.join(EXTRACT_METHODS)}"
         )
     if engine not in ("portfolio", "legacy"):
         raise PipelineError(f"unknown extraction engine {engine!r}; choose portfolio or legacy")
+    plan = ctx.partition_plan
+    if plan is not None:
+        if method == "random":
+            raise PipelineError("extract(random) is not supported inside a partitioned flow")
+        if engine != "portfolio":
+            raise PipelineError("partitioned flows only support the portfolio extraction engine")
+        if use_ml:
+            raise PipelineError("extract(use_ml=true) is not supported inside a partitioned flow")
+        num_chains = chains or threads
+        plan.window_config = replace(
+            plan.window_config,
+            method=method,
+            chains=num_chains,
+            moves=iters * moves * num_chains,
+            cost=cost,
+            seed=seed,
+        )
+        plan.extract_staged = True
+        ctx.metrics["extraction_staged"] = True
+        return
+    circuit = ctx.require_egraph("extract")
     guiding = DepthCost() if cost == "depth" else NodeCountCost()
 
     if method == "sa":
@@ -378,6 +433,90 @@ def _pass_extract(
     ]
     ctx.aig = ctx.candidates[0]
     ctx.metrics["num_candidates"] = len(ctx.candidates)
+
+
+# --------------------------------------------------------------------------
+# Partition-and-conquer: windowed saturate+extract for circuits beyond the
+# monolithic engine's ceiling.
+
+
+@register_pass(
+    "partition",
+    "decompose the AIG into optimization windows (plan; run by 'stitch')",
+    kind="partition",
+    positional=("k",),
+)
+def _pass_partition(
+    ctx: FlowContext,
+    k: int = 500,
+    method: str = "cone",
+    seed: int = 0,
+    workers: int = 0,
+) -> None:
+    """Decompose the working AIG into windows of at most ``k`` AND nodes.
+
+    The decomposition is parked on the context as a plan; subsequent
+    ``saturate``/``extract`` passes stage their parameters into it, and
+    ``stitch`` executes the per-window flow and splices the results back.
+    ``method`` is ``cone`` (fanout-free-cone clustering) or ``window``
+    (structural level cuts); ``seed`` shifts the cut phase; ``workers=N``
+    fans windows out over N processes (0 = inline, identical results).
+    """
+    if method not in PARTITION_METHODS:
+        raise PipelineError(
+            f"unknown partition method {method!r}; choose from {', '.join(PARTITION_METHODS)}"
+        )
+    if k < 1:
+        raise PipelineError("partition needs k >= 1")
+    if workers < 0:
+        raise PipelineError("partition needs workers >= 0")
+    config = PartitionConfig(k=k, method=method, seed=seed, workers=workers)
+    windows = partition_aig(ctx.aig, k=k, method=method, seed=seed)
+    ctx.partition_plan = PartitionPlan(config=config, windows=windows)
+    ctx.metrics["partition_windows"] = len(windows)
+    ctx.metrics["partition_method"] = method
+    ctx.metrics["partition_k"] = k
+
+
+@register_pass(
+    "stitch",
+    "optimize every pending window (saturate+extract+CEC) and splice back",
+    kind="partition",
+)
+def _pass_stitch(ctx: FlowContext, verify: bool = True) -> None:
+    """Execute a pending partition plan.
+
+    Runs the staged (or default) saturate+extract flow on every window —
+    inline or across the plan's worker pool — CEC-guards each window,
+    splices the survivors into the working AIG, and embeds the
+    :class:`~repro.partition.telemetry.PartitionProfile` in the flow result.
+    ``verify=false`` skips the final whole-circuit CEC (the per-window
+    guards still run).
+    """
+    plan = ctx.partition_plan
+    if plan is None:
+        raise PipelineError(
+            "pass 'stitch' needs a pending partition plan; run 'partition' first "
+            "(AIG transforms invalidate a previously computed plan)"
+        )
+    outcome = partitioned_optimize(
+        ctx.aig,
+        plan.config,
+        plan.window_config,
+        windows=plan.windows,
+        verify=verify,
+    )
+    ctx.partition_plan = None
+    ctx.aig = outcome.aig
+    ctx.circuit = None
+    ctx.candidates = []
+    ctx.partition_profile = outcome.profile
+    ctx.metrics["partition_windows"] = outcome.profile.num_windows
+    ctx.metrics["partition_accepted"] = outcome.profile.accepted_windows
+    ctx.metrics["partition_reverted"] = outcome.profile.reverted_windows
+    ctx.metrics["partition_failed"] = outcome.profile.failed_windows
+    if outcome.profile.final_cec is not None:
+        ctx.metrics["partition_cec"] = outcome.profile.final_cec
 
 
 # --------------------------------------------------------------------------

@@ -121,6 +121,8 @@ class PipelineResult:
     rewrite_report: Optional[RunnerReport] = None
     #: Extraction-engine telemetry when the script ran a portfolio ``extract``.
     extraction_profile: Optional[object] = None
+    #: Partitioned-run telemetry when the script ran ``partition``/``stitch``.
+    partition_profile: Optional[object] = None
 
     @property
     def levels(self) -> int:
@@ -148,6 +150,7 @@ class PipelineResult:
             "equivalence": None if self.equivalence is None else self.equivalence.status,
             "saturation": None if self.rewrite_report is None else self.rewrite_report.to_dict(),
             "extraction": None if self.extraction_profile is None else self.extraction_profile.to_dict(),
+            "partition": None if self.partition_profile is None else self.partition_profile.to_dict(),
         }
         if self.mapping is not None:
             data["area"] = self.mapping.area
@@ -286,4 +289,5 @@ class Pipeline:
             equivalence=ctx.equivalence,
             rewrite_report=ctx.rewrite_report,
             extraction_profile=ctx.extraction_profile,
+            partition_profile=ctx.partition_profile,
         )

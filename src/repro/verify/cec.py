@@ -29,6 +29,20 @@ class CecResult:
     def __bool__(self) -> bool:
         return self.equivalent
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form for telemetry payloads (partition reports,
+        orchestration results); the counterexample rides along when present."""
+        data: Dict[str, object] = {
+            "equivalent": self.equivalent,
+            "status": self.status,
+            "conflicts": self.conflicts,
+        }
+        if self.counterexample is not None:
+            data["counterexample"] = dict(self.counterexample)
+        if self.failing_output is not None:
+            data["failing_output"] = self.failing_output
+        return data
+
 
 def miter(aig_a: Aig, aig_b: Aig) -> Aig:
     """Build a single-output miter AIG: OR of XORs of corresponding outputs."""

@@ -147,6 +147,17 @@ class TestRegistry:
             large = epfl.build(name, preset="bench")
             assert large.num_ands > small.num_ands
 
+    def test_large_preset_is_partition_scale(self):
+        # The "large" preset targets 10-100x the bench AND counts.
+        for name in ["adder", "log2", "mem_ctrl"]:
+            bench = epfl.build(name, preset="bench")
+            large = epfl.build(name, preset="large")
+            ratio = large.num_ands / bench.num_ands
+            assert 10 <= ratio <= 100, f"{name}: {ratio:.1f}x"
+
+    def test_preset_registry_exposes_all_presets(self):
+        assert epfl.PRESETS == ("test", "bench", "large")
+
     def test_overrides_forwarded(self):
         aig = epfl.build("adder", width=4)
         assert aig.num_pis == 8

@@ -1,0 +1,291 @@
+"""Tests of the partition-and-conquer subsystem.
+
+Covers the partitioner invariants (coverage, convexity, determinism per
+seed), the identity stitch round trip (CEC-verified), per-window
+optimization with its fail-soft and revert guards, inline-vs-pool
+determinism of ``partitioned_optimize``, the telemetry JSON surface, the
+``partition``/``stitch`` pipeline passes, and the fast bench profile's
+capability-gap demonstration.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.aig.graph import Aig, lit_var
+from repro.aig.levels import compute_levels
+from repro.benchgen import epfl
+from repro.partition import (
+    PARTITION_METHODS,
+    PartitionConfig,
+    PartitionProfile,
+    WindowOptConfig,
+    WindowReport,
+    check_partition,
+    optimize_window,
+    partition_aig,
+    partitioned_optimize,
+    stitch_windows,
+    window_round_trip,
+    window_seed,
+)
+from repro.pipeline import Pipeline
+from repro.pipeline.context import PipelineError
+from repro.verify.cec import check_equivalence
+
+
+@pytest.fixture(scope="module")
+def log2_test():
+    return epfl.build("log2", preset="test")
+
+
+class TestPartitioner:
+    @pytest.mark.parametrize("method", PARTITION_METHODS)
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_invariants_hold(self, log2_test, method, seed):
+        windows = partition_aig(log2_test, k=60, method=method, seed=seed)
+        check_partition(log2_test, windows)  # raises on violation
+        assert sum(w.num_members for w in windows) == log2_test.num_ands
+
+    @pytest.mark.parametrize("method", PARTITION_METHODS)
+    def test_capacity_respected_for_unit_circuits(self, log2_test, method):
+        # Windows only exceed k when a single fanout-free cone does.
+        k = 60
+        windows = partition_aig(log2_test, k=k, method=method)
+        assert all(w.num_members <= k for w in windows)
+        assert len(windows) > 1
+
+    def test_sub_aig_interface_matches_boundary(self, log2_test):
+        for window in partition_aig(log2_test, k=60):
+            assert window.aig.num_pis == len(window.inputs)
+            assert window.aig.num_pos == len(window.outputs)
+            assert window.members == sorted(window.members)
+
+    def test_deterministic_per_seed(self, log2_test):
+        first = partition_aig(log2_test, k=60, seed=3)
+        second = partition_aig(log2_test, k=60, seed=3)
+        assert [w.members for w in first] == [w.members for w in second]
+
+    def test_seed_shifts_cuts(self, log2_test):
+        base = partition_aig(log2_test, k=60, seed=0)
+        shifted = partition_aig(log2_test, k=60, seed=7)
+        assert [w.members for w in base] != [w.members for w in shifted]
+        check_partition(log2_test, shifted)
+
+    def test_rejects_bad_arguments(self, log2_test):
+        with pytest.raises(ValueError):
+            partition_aig(log2_test, k=0)
+        with pytest.raises(ValueError):
+            partition_aig(log2_test, method="bogus")
+
+    def test_check_partition_catches_missing_window(self, log2_test):
+        windows = partition_aig(log2_test, k=60)
+        with pytest.raises(ValueError):
+            check_partition(log2_test, windows[:-1])
+
+
+class TestStitch:
+    @pytest.mark.parametrize("method", PARTITION_METHODS)
+    @pytest.mark.parametrize("name", ["adder", "log2", "mem_ctrl"])
+    def test_round_trip_is_equivalent(self, name, method):
+        aig = epfl.build(name, preset="test")
+        windows = partition_aig(aig, k=50, method=method, seed=2)
+        stitched = window_round_trip(aig, windows)
+        assert check_equivalence(aig, stitched).status == "equivalent"
+
+    def test_interface_mismatch_rejected(self, log2_test):
+        windows = partition_aig(log2_test, k=60)
+        bogus = Aig()
+        bogus.add_po(bogus.add_pi())
+        implementations = [w.aig for w in windows]
+        implementations[0] = bogus
+        with pytest.raises(ValueError):
+            stitch_windows(log2_test, windows, implementations)
+
+
+class TestOptimizeWindow:
+    def test_accepts_only_improvements(self, log2_test):
+        windows = partition_aig(log2_test, k=60)
+        cfg = WindowOptConfig(iters=3, max_nodes=3000, chains=2, moves=16)
+        report, optimized = optimize_window(0, windows[0].aig, cfg)
+        assert report.status in ("accepted", "reverted_no_gain", "reverted_cec")
+        if report.status == "accepted":
+            assert optimized is not None
+            assert (optimized.num_ands, report.levels_after) < (
+                report.ands_before,
+                report.levels_before,
+            )
+            assert check_equivalence(windows[0].aig, optimized).status == "equivalent"
+        else:
+            assert optimized is None
+            assert report.ands_after == report.ands_before
+
+    def test_fail_soft_on_error(self, log2_test):
+        windows = partition_aig(log2_test, k=60)
+        # An invalid scheduler makes the engine raise; the window must survive.
+        cfg = WindowOptConfig(scheduler="bogus")
+        report, optimized = optimize_window(0, windows[0].aig, cfg)
+        assert report.status == "failed"
+        assert optimized is None
+        assert report.error
+
+    def test_window_seed_stride(self):
+        assert window_seed(7, 0) == 7
+        assert window_seed(7, 2) - window_seed(7, 1) == window_seed(7, 1) - window_seed(7, 0)
+        assert window_seed(7, 1) != window_seed(7, 0)
+
+
+class TestPartitionedOptimize:
+    def test_inline_equals_pool(self, log2_test):
+        cfg = WindowOptConfig(iters=2, max_nodes=2500, chains=2, moves=8)
+        inline = partitioned_optimize(log2_test, PartitionConfig(k=60, workers=0), cfg)
+        pooled = partitioned_optimize(log2_test, PartitionConfig(k=60, workers=2), cfg)
+        assert inline.aig.stats() == pooled.aig.stats()
+        strip = lambda r: {k: v for k, v in r.to_dict().items() if k != "wall_time"}
+        assert [strip(r) for r in inline.reports] == [strip(r) for r in pooled.reports]
+        assert check_equivalence(inline.aig, pooled.aig).status == "equivalent"
+
+    def test_profile_shape_and_final_cec(self, log2_test):
+        cfg = WindowOptConfig(iters=2, max_nodes=2500, chains=2, moves=8)
+        outcome = partitioned_optimize(log2_test, PartitionConfig(k=60), cfg, verify=True)
+        profile = outcome.profile
+        assert profile.num_windows == len(profile.windows)
+        assert profile.final_cec == "equivalent"
+        assert profile.accepted_windows + profile.reverted_windows + profile.failed_windows == (
+            profile.num_windows
+        )
+        assert check_equivalence(log2_test, outcome.aig).status == "equivalent"
+
+
+class TestTelemetry:
+    def test_profile_json_round_trip(self, log2_test):
+        cfg = WindowOptConfig(iters=2, max_nodes=2500, chains=2, moves=8)
+        profile = partitioned_optimize(log2_test, PartitionConfig(k=60), cfg).profile
+        payload = json.loads(json.dumps(profile.to_dict()))
+        restored = PartitionProfile.from_dict(payload)
+        assert restored.to_dict() == profile.to_dict()
+        assert restored.window_sizes() == profile.window_sizes()
+
+    def test_window_report_round_trip(self):
+        report = WindowReport(index=3, members=40, status="accepted", cec="equivalent")
+        assert WindowReport.from_dict(report.to_dict()) == report
+
+    def test_cec_result_to_dict(self, log2_test):
+        cec = check_equivalence(log2_test, log2_test.strash())
+        payload = cec.to_dict()
+        assert payload["status"] == "equivalent"
+        assert payload["equivalent"] is True
+        json.dumps(payload)
+
+    def test_render_mentions_counts(self):
+        profile = PartitionProfile(method="cone", k=60, num_windows=2)
+        profile.windows = [
+            WindowReport(index=0, status="accepted"),
+            WindowReport(index=1, status="reverted_cec"),
+        ]
+        text = profile.render()
+        assert "accepted=1" in text and "reverted_cec=1" in text
+
+
+class TestPipelinePasses:
+    def test_script_end_to_end(self, log2_test):
+        pipeline = Pipeline.from_script(
+            "st; partition(k=60); saturate(iters=2, max_nodes=2500); "
+            "extract(sa, chains=2, moves=4, iters=1); stitch; map; cec"
+        )
+        result = pipeline.run_flow(log2_test)
+        data = result.to_dict()
+        assert data["equivalence"] == "equivalent"
+        assert data["partition"]["num_windows"] > 1
+        assert data["partition"]["final_cec"] == "equivalent"
+        assert data["metrics"]["saturation_staged"] is True
+        assert data["metrics"]["extraction_staged"] is True
+        assert "area" in data and "delay" in data
+
+    def test_stitch_requires_plan(self, small_adder):
+        with pytest.raises(PipelineError):
+            Pipeline.from_script("st; stitch").run_flow(small_adder)
+
+    def test_transform_invalidates_plan(self, small_adder):
+        # A transform between partition and stitch drops the plan.
+        with pytest.raises(PipelineError):
+            Pipeline.from_script("st; partition(k=30); balance; stitch").run_flow(small_adder)
+
+    def test_partitioned_flow_rejects_unsupported_extraction(self, small_adder):
+        for script in (
+            "st; partition(k=30); extract(random); stitch",
+            "st; partition(k=30); extract(sa, use_ml=true); stitch",
+            "st; partition(k=30); extract(sa, engine=legacy); stitch",
+        ):
+            with pytest.raises(PipelineError):
+                Pipeline.from_script(script).run_flow(small_adder)
+
+    def test_stitch_defaults_without_staging(self, small_adder):
+        # partition; stitch with no saturate/extract staged runs window defaults.
+        result = Pipeline.from_script("st; partition(k=30); stitch(verify=true)").run_flow(
+            small_adder
+        )
+        assert result.to_dict()["partition"]["final_cec"] == "equivalent"
+
+
+class TestBench:
+    def test_fast_profile_demonstrates_gap(self):
+        from repro.engine.bench import check_regressions
+        from repro.partition.bench import check_completions, render_bench, run_partition_bench
+
+        payload = run_partition_bench(fast=True, workers=0)
+        entry = payload["circuits"]["log2"]
+        assert entry["runs"]["monolithic"]["completed"] is False
+        assert entry["runs"]["monolithic"]["stop_reason"] == "node_limit"
+        assert entry["runs"]["partitioned"]["completed"] is True
+        assert entry["runs"]["partitioned"]["final_cec"] == "equivalent"
+        assert check_completions(payload) == []
+        assert check_regressions(payload, payload) == []
+        assert "partitioned" in render_bench(payload)
+        json.dumps(payload)
+
+
+class TestStructuralUtilities:
+    """AIG structural utilities the partitioner depends on."""
+
+    def _two_output_shared(self):
+        aig = Aig(name="shared")
+        a, b, c = aig.add_pi("a"), aig.add_pi("b"), aig.add_pi("c")
+        f = aig.add_and(a, b)
+        g = aig.add_and(f, c)
+        h = aig.add_and(f, a)
+        aig.add_po(g, "g")
+        aig.add_po(h, "h")
+        aig.add_po(f, "f")  # the shared node is itself an output
+        return aig, (a, b, c, f, g, h)
+
+    def test_fanout_counts_include_po_references(self):
+        aig, (a, b, c, f, g, h) = self._two_output_shared()
+        counts = aig.fanout_counts()
+        # f feeds g, h, and a PO: three fanouts.
+        assert counts[lit_var(f)] == 3
+        assert counts[lit_var(g)] == 1  # PO reference only
+        assert counts[lit_var(h)] == 1
+        assert counts[lit_var(a)] == 2  # f and h
+
+    def test_levels_on_multi_output(self):
+        aig, (a, b, c, f, g, h) = self._two_output_shared()
+        levels = compute_levels(aig)
+        assert levels[lit_var(a)] == 0
+        assert levels[lit_var(f)] == 1
+        assert levels[lit_var(g)] == 2
+        assert levels[lit_var(h)] == 2
+
+    def test_topological_iteration_multi_output(self):
+        aig, _ = self._two_output_shared()
+        order = aig.topological_order()
+        position = {var: i for i, var in enumerate(order)}
+        assert len(order) == aig.num_nodes
+        for node in aig.and_nodes():
+            assert position[lit_var(node.fanin0)] < position[node.var]
+            assert position[lit_var(node.fanin1)] < position[node.var]
+        # and_nodes() itself iterates in topological (creation) order.
+        and_vars = [n.var for n in aig.and_nodes()]
+        assert and_vars == sorted(and_vars)

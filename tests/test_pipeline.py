@@ -158,6 +158,9 @@ class TestRegistry:
         elif name == "map":
             # Exercise the candidate-mapping path, not just direct mapping.
             prefix = "dag2eg; saturate(iters=1, max_nodes=2000); extract(greedy); "
+        elif name == "stitch":
+            # stitch consumes the plan a preceding partition pass parks.
+            prefix = "partition(k=30); saturate(iters=1, max_nodes=2000); extract(greedy); "
         script = f"{prefix}{name}"
         ctx = Pipeline.from_script(script).run(small_adder)
         assert ctx.aig.num_pos == small_adder.num_pos
