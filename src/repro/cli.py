@@ -8,6 +8,12 @@ Subcommands:
 * ``compare``   — run both and print the Table II row for one circuit;
 * ``pipeline``  — run an arbitrary scripted pass pipeline
   (``--script "st; sopb; dag2eg; saturate(iters=4); extract(sa); map; cec"``);
+* ``trace``     — run a scripted pipeline under a tracer and print the span
+  tree (``--out`` writes the Chrome trace-event JSON);
+* ``explain``   — run a scripted pipeline under a provenance recorder and
+  print the rule-level QoR attribution (which rewrite rules produced the
+  nodes that survived into the final circuit), with ``--provenance FILE``
+  exporting the derivation log as DOT/JSON;
 * ``scripts``   — list the registered passes and named optimization scripts;
 * ``saturate-bench`` — benchmark the saturation engine (legacy loop vs
   op-indexed vs backoff-scheduled) and write ``BENCH_saturation.json``,
@@ -117,6 +123,62 @@ def _maybe_trace(args: argparse.Namespace):
     _LOG.info(f"trace written to {path}")
 
 
+def _add_provenance_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--provenance",
+        default=None,
+        metavar="FILE",
+        help="record rule provenance during saturation and write the derivation "
+        "log to FILE: Graphviz DOT when FILE ends in .dot, JSON otherwise "
+        "(flow results then embed the rule attribution)",
+    )
+
+
+def _write_derivation(recorder, path: str) -> None:
+    from repro.obs import write_derivation_dot, write_derivation_json
+
+    if path.endswith(".dot"):
+        write_derivation_dot(recorder, path)
+    else:
+        write_derivation_json(recorder, path)
+    _LOG.info(f"provenance written to {path}")
+
+
+@contextmanager
+def _maybe_provenance(args: argparse.Namespace):
+    """Install a provenance recorder when ``--provenance FILE`` was given."""
+    path = getattr(args, "provenance", None)
+    if not path:
+        yield None
+        return
+    from repro.obs import recording
+
+    with recording() as recorder:
+        yield recorder
+    _write_derivation(recorder, path)
+
+
+def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write the Prometheus text exposition of the run's metrics to FILE",
+    )
+
+
+def _maybe_metrics(args: argparse.Namespace) -> None:
+    """Dump the process metrics registry when ``--metrics FILE`` was given."""
+    path = getattr(args, "metrics", None)
+    if not path:
+        return
+    from repro.obs.metrics import prometheus_text
+
+    with open(path, "w") as handle:
+        handle.write(prometheus_text())
+    _LOG.info(f"metrics written to {path}")
+
+
 def _add_emorphic_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--iterations",
@@ -224,7 +286,7 @@ def cmd_baseline(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     aig = _load_circuit(args)
-    with _maybe_trace(args):
+    with _maybe_trace(args), _maybe_provenance(args):
         result = run_emorphic_flow(aig, _emorphic_config(args))
     print(
         f"{aig.name}: area={result.area:.2f} um^2  delay={result.delay:.2f} ps  "
@@ -285,7 +347,7 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
             extra={"pass": name, "seconds": seconds, "ands": stats["ands"], "levels": stats["levels"]},
         )
 
-    with _maybe_trace(args):
+    with _maybe_trace(args), _maybe_provenance(args):
         result = pipeline.run_flow(aig, on_pass_end=on_pass_end if args.verbose else None)
     print(f"pipeline: {pipeline.to_script()}")
     if result.mapping is not None:
@@ -330,6 +392,41 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if args.out:
         write_chrome_trace(tracer, args.out)
         _LOG.info(f"trace written to {args.out}")
+    _maybe_metrics(args)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Run a scripted pipeline under a provenance recorder and explain the QoR."""
+    from repro.obs import recording
+
+    aig = _load_circuit(args)
+    pipeline = _build_pipeline(args.script)
+    with recording() as recorder:
+        result = pipeline.run_flow(aig)
+    print(f"pipeline: {pipeline.to_script()} on {aig.name}")
+    attribution = result.attribution
+    if attribution is None:
+        print(
+            "no attribution recorded — the script needs a saturate+extract "
+            "(or partition ... stitch) stage to attribute the result to rules"
+        )
+    else:
+        print(attribution.render())
+    if result.equivalence is not None:
+        print(f"equivalence check: {result.equivalence.status}")
+    if args.provenance:
+        _write_derivation(recorder, args.provenance)
+    if args.json:
+        payload = {
+            "circuit": aig.name,
+            "script": pipeline.to_script(),
+            "attribution": None if attribution is None else attribution.to_dict(),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        _LOG.info(f"attribution written to {args.json}")
+    _maybe_metrics(args)
     return 0
 
 
@@ -531,7 +628,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         progress, on_event = False, renderer.handle
     else:
         progress, on_event = True, None
-    with _maybe_trace(args):
+    with _maybe_trace(args), _maybe_provenance(args):
         report = run_campaign(
             jobs,
             store=args.store,
@@ -699,6 +796,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_circuit_args(p_run)
     _add_emorphic_args(p_run)
     _add_trace_arg(p_run)
+    _add_provenance_arg(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare baseline and E-morphic on one circuit")
@@ -717,6 +815,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_pipe.add_argument("--verbose", action="store_true", help="print AIG stats after every pass")
     p_pipe.add_argument("--json", default=None, help="write the result summary to this JSON file")
     _add_trace_arg(p_pipe)
+    _add_provenance_arg(p_pipe)
     p_pipe.set_defaults(func=cmd_pipeline)
 
     p_trace = sub.add_parser(
@@ -733,7 +832,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument(
         "--out", default=None, help="also write the Chrome trace-event JSON to this file"
     )
+    _add_metrics_arg(p_trace)
     p_trace.set_defaults(func=cmd_trace)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="run a scripted pipeline under a provenance recorder and print the "
+        "rule-level QoR attribution",
+    )
+    p_explain.add_argument(
+        "script",
+        help='ABC-style pass script, e.g. "st; dag2eg; saturate(iters=4); extract; map; cec"',
+    )
+    _add_circuit_args(p_explain, positional=False)
+    p_explain.add_argument(
+        "--json", default=None, help="write the attribution report to this JSON file"
+    )
+    _add_provenance_arg(p_explain)
+    _add_metrics_arg(p_explain)
+    p_explain.set_defaults(func=cmd_explain)
 
     p_scripts = sub.add_parser(
         "scripts", help="list registered pipeline passes and named optimization scripts"
@@ -892,6 +1009,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_campaign_args(p_batch)
     _add_trace_arg(p_batch)
+    _add_provenance_arg(p_batch)
     p_batch.set_defaults(func=cmd_batch)
 
     p_sweep = sub.add_parser(

@@ -60,9 +60,14 @@ class EGraph:
     newly created e-class and ``on_union(root, other)`` for every merge
     (including the upward merges performed during ``rebuild``), which is enough
     to maintain derived structures incrementally instead of rescanning the
-    graph.  ``num_classes``/``num_nodes`` are O(1) counters maintained through
-    ``add``/``union``/``_repair`` — the saturation engine polls them inside its
-    hot loop.
+    graph.  Current clients are the engine's op-index and the provenance
+    recorder (:class:`repro.obs.provenance.ProvenanceLog`).  One subtlety for
+    observers: ``_repair`` re-canonicalizes existing e-nodes in place *without*
+    firing ``on_add``, so an observer that keys records by (class id, e-node)
+    must re-canonicalize both sides under the final union-find when it looks
+    records up after the run.  ``num_classes``/``num_nodes`` are O(1) counters
+    maintained through ``add``/``union``/``_repair`` — the saturation engine
+    polls them inside its hot loop.
     """
 
     def __init__(self) -> None:

@@ -103,6 +103,33 @@ def _bench_one(
     return record
 
 
+def _bench_provenance(aig, limits: EngineLimits) -> Dict[str, object]:
+    """Recording-on overhead probe: the default ``engine`` variant re-run
+    under a provenance recorder.  Lands in the payload as the additive
+    per-circuit ``"provenance"`` key — the regression gate reads only the
+    per-variant ``runs``, so this documents the cost without gating on it."""
+    from repro.obs import provenance as obs_provenance
+
+    variant = VARIANTS[-1]  # the default "engine" configuration
+    circuit = aig_to_egraph(aig)
+    start = time.perf_counter()
+    with obs_provenance.recording() as log:
+        SaturationEngine(
+            circuit.egraph,
+            boolean_rules(),
+            limits,
+            scheduler=variant.scheduler,
+            use_index=variant.use_index,
+            dedup_matches=variant.dedup,
+        ).run()
+    wall_time = time.perf_counter() - start
+    return {
+        "wall_time": wall_time,
+        "nodes_recorded": len(log.nodes),
+        "merges_recorded": len(log.merges),
+    }
+
+
 def run_saturation_bench(
     circuits: Optional[Sequence[str]] = None,
     preset: str = "bench",
@@ -157,6 +184,14 @@ def run_saturation_bench(
             entry["runs"][variant.name] = _bench_one(
                 aig, variant, limits, check_cec=check_cec, conflict_budget=conflict_budget
             )
+        if progress:
+            progress(f"{name}: provenance overhead ...")
+        prov = _bench_provenance(aig, limits)
+        engine_wall = entry["runs"]["engine"]["wall_time"]
+        prov["overhead_vs_engine"] = (
+            prov["wall_time"] / engine_wall if engine_wall > 0 else float("inf")
+        )
+        entry["provenance"] = prov
         legacy_wall = entry["runs"]["legacy"]["wall_time"]
         entry["speedup"] = {}
         for variant in VARIANTS:
@@ -192,6 +227,13 @@ def render_bench(payload: Dict[str, object]) -> str:
                 f"{name:12s} {variant:8s} {run['wall_time']:9.2f} {run['final_nodes']:8d} "
                 f"{run['total_matches']:9d} {run['stop_reason']:>15s} "
                 f"{run.get('extraction_cec', '-'):>12s} {speedup_text}"
+            )
+        prov = entry.get("provenance")
+        if prov:
+            lines.append(
+                f"{name:12s} provenance recording: {prov['wall_time']:.2f}s "
+                f"({prov['overhead_vs_engine']:.2f}x engine, "
+                f"{prov['nodes_recorded']} nodes, {prov['merges_recorded']} merges)"
             )
     geomeans = payload.get("summary", {}).get("geomean_speedup", {})
     if geomeans:

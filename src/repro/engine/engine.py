@@ -45,6 +45,7 @@ from repro.egraph.rewrite import Rewrite
 from repro.engine.index import OpIndex
 from repro.engine.scheduler import Scheduler, make_scheduler
 from repro.engine.telemetry import IterationReport, RuleProfile, SaturationProfile
+from repro.obs import provenance as obs_provenance
 from repro.obs import trace as obs
 from repro.obs.metrics import registry as obs_registry
 
@@ -94,7 +95,14 @@ class SaturationEngine:
         # applied match is harmless (see module docstring).
         return (rule.name, match.class_id, tuple(sorted(match.substitution.items())))
 
-    def _apply_rule(self, rule: Rewrite, matches: List[Match], stats: RuleProfile) -> int:
+    def _apply_rule(
+        self,
+        rule: Rewrite,
+        matches: List[Match],
+        stats: RuleProfile,
+        iteration: int = 0,
+        recorder: Optional[obs_provenance.ProvenanceLog] = None,
+    ) -> int:
         """Apply one rule's matches (with dedup); returns unions performed."""
         egraph = self.egraph
         applied = 0
@@ -108,10 +116,19 @@ class SaturationEngine:
                 continue
             if self.dedup_matches:
                 self._seen.add(key)
+            if recorder is not None:
+                recorder.set_context(
+                    rule.name,
+                    iteration,
+                    egraph.find(match.class_id),
+                    obs_provenance.subst_digest(match.substitution),
+                )
             new_class = instantiate(egraph, rule.rhs.root, match.substitution)
             if egraph.find(new_class) != egraph.find(match.class_id):
                 egraph.union(match.class_id, new_class)
                 applied += 1
+        if recorder is not None:
+            recorder.clear_context()
         return applied
 
     # -- the loop --------------------------------------------------------------
@@ -122,6 +139,13 @@ class SaturationEngine:
         egraph = self.egraph
         self._seen = set()  # dedup is per run: a re-run starts fresh
         index = OpIndex(egraph) if self.use_index else None
+        # Provenance rides the installed-recorder gate, same as tracing: when
+        # no recorder is installed (the common case) nothing below this line
+        # touches the apply path.  Attaching seed-tags every existing e-node
+        # as "original" before the first rule fires.
+        recorder = obs_provenance.current_recorder()
+        if recorder is not None:
+            recorder.attach(egraph)
         rule_stats: Dict[str, RuleProfile] = {
             rule.name: RuleProfile(name=rule.name) for rule in self.rules
         }
@@ -197,7 +221,9 @@ class SaturationEngine:
                                     continue
                                 with obs.span(rule.name, category="saturation.apply") as rule_span:
                                     deduped_before = stats.matches_deduped
-                                    count = self._apply_rule(rule, matches, stats)
+                                    count = self._apply_rule(
+                                        rule, matches, stats, iteration, recorder
+                                    )
                                 stats.apply_time += rule_span.duration
                                 rule_span.set("applications", count)
                                 stats.applications += count
@@ -236,6 +262,8 @@ class SaturationEngine:
             finally:
                 if index is not None:
                     index.detach()
+                if recorder is not None:
+                    recorder.detach(egraph)
             run_span.set("stop_reason", stop_reason)
             run_span.set("iterations", len(iterations))
         self.profile = SaturationProfile(

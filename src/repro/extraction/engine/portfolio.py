@@ -120,6 +120,14 @@ def _init_worker(problem: FrozenProblem, traced: bool = False) -> None:
     global _WORKER_PROBLEM, _WORKER_TRACED
     _WORKER_PROBLEM = problem
     _WORKER_TRACED = traced
+    # Same isolation rule as the fresh local tracer: a forked worker starts
+    # from an empty metrics registry, never the inherited parent copy.  The
+    # portfolio publishes its counters parent-side after the rounds, so the
+    # workers ship no counter buffers — the reset guards against any pass
+    # invoked inside a round double-publishing inherited parent state.
+    from repro.obs.metrics import reset_registry
+
+    reset_registry()
 
 
 def _worker_round(state: ChainState, moves: int):

@@ -141,6 +141,8 @@ class EmorphicResult:
     pass_runtimes: List[Tuple[str, float]] = field(default_factory=list)
     #: Extraction-engine telemetry (portfolio engine only).
     extraction_profile: Optional[object] = None
+    #: Rule-level QoR attribution when a provenance recorder was installed.
+    attribution: Optional[object] = None
 
     def runtime_breakdown(self) -> Dict[str, float]:
         """The three components plotted in Fig. 9."""
@@ -162,6 +164,7 @@ class EmorphicResult:
             "equivalence": None if self.equivalence is None else self.equivalence.status,
             "saturation": None if self.rewrite_report is None else self.rewrite_report.to_dict(),
             "extraction": None if self.extraction_profile is None else self.extraction_profile.to_dict(),
+            "attribution": None if self.attribution is None else self.attribution.to_dict(),
         }
 
 
@@ -293,4 +296,5 @@ def run_emorphic_flow(
         equivalence=ctx.equivalence,
         pass_runtimes=ctx.pass_runtimes(),
         extraction_profile=ctx.extraction_profile,
+        attribution=ctx.attribution,
     )

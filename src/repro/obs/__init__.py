@@ -9,7 +9,11 @@ One span/metrics substrate for every subsystem:
 * **metrics** (:mod:`repro.obs.metrics`) — a process-local registry of
   counters/gauges with a Prometheus text exposition;
 * **exporters** (:mod:`repro.obs.export`) — Chrome trace-event JSON
-  (Perfetto / ``about:tracing``) and folded flamegraph stacks;
+  (Perfetto / ``about:tracing``), folded flamegraph stacks, and derivation
+  tree JSON/DOT for provenance logs;
+* **provenance** (:mod:`repro.obs.provenance`) — a gated recorder of which
+  rule created every e-node during saturation, plus the ``RuleAttribution``
+  report extraction derives from it (``emorphic explain``);
 * **logging** (:mod:`repro.obs.log`) — the structured ``repro.obs.log``
   stdlib logger (console or JSON-lines formatting);
 * **progress** (:mod:`repro.obs.progress`) — live rendering of orchestrate
@@ -23,8 +27,12 @@ benches, `--trace` exports, and the future job-server streaming path.
 from repro.obs.export import (
     span_summary,
     to_chrome_trace,
+    to_derivation_dot,
+    to_derivation_json,
     to_folded_stacks,
     write_chrome_trace,
+    write_derivation_dot,
+    write_derivation_json,
     write_folded_stacks,
 )
 from repro.obs.log import JsonFormatter, configure_logging, ensure_configured, get_logger
@@ -37,6 +45,17 @@ from repro.obs.metrics import (
     reset_registry,
 )
 from repro.obs.progress import CampaignProgress
+from repro.obs.provenance import (
+    ProvenanceLog,
+    RuleAttribution,
+    RuleYield,
+    attribute_extraction,
+    current_recorder,
+    install_recorder,
+    recording,
+    recording_enabled,
+    uninstall_recorder,
+)
 from repro.obs.trace import (
     Span,
     SpanRecord,
@@ -56,25 +75,38 @@ __all__ = [
     "Gauge",
     "JsonFormatter",
     "MetricsRegistry",
+    "ProvenanceLog",
+    "RuleAttribution",
+    "RuleYield",
     "Span",
     "SpanRecord",
     "Tracer",
+    "attribute_extraction",
     "configure_logging",
+    "current_recorder",
     "current_tracer",
     "ensure_configured",
     "get_logger",
+    "install_recorder",
     "install_tracer",
     "instant",
     "prometheus_text",
+    "recording",
+    "recording_enabled",
     "registry",
     "reset_registry",
     "span",
     "span_summary",
     "to_chrome_trace",
+    "to_derivation_dot",
+    "to_derivation_json",
     "to_folded_stacks",
     "tracing",
     "tracing_enabled",
+    "uninstall_recorder",
     "uninstall_tracer",
     "write_chrome_trace",
+    "write_derivation_dot",
+    "write_derivation_json",
     "write_folded_stacks",
 ]

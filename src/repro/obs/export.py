@@ -1,4 +1,4 @@
-"""Trace exporters: Chrome trace-event JSON and folded flamegraph stacks.
+"""Trace and provenance exporters: Chrome trace JSON, folded stacks, DOT.
 
 * :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Trace Event
   Format consumed by Perfetto (https://ui.perfetto.dev) and Chrome's
@@ -11,6 +11,11 @@
 
 Both exporters consume a :class:`~repro.obs.trace.Tracer` (or a raw record
 list), so worker buffers merged into the parent trace export for free.
+
+Provenance logs (:mod:`repro.obs.provenance`) export next to the trace
+exporters: :func:`to_derivation_json` is the raw node/merge record payload,
+and :func:`to_derivation_dot` renders the derivation tree (which rule
+rewrote which class, at which iteration) as Graphviz DOT.
 """
 
 from __future__ import annotations
@@ -23,8 +28,12 @@ from repro.obs.trace import SpanRecord, Tracer
 __all__ = [
     "span_summary",
     "to_chrome_trace",
+    "to_derivation_dot",
+    "to_derivation_json",
     "to_folded_stacks",
     "write_chrome_trace",
+    "write_derivation_dot",
+    "write_derivation_json",
     "write_folded_stacks",
 ]
 
@@ -110,3 +119,69 @@ def span_summary(trace: Union[Tracer, List[SpanRecord]]) -> Dict[str, Dict[str, 
     for bucket in summary.values():
         bucket["total"] = round(bucket["total"], 6)
     return summary
+
+
+def to_derivation_json(log) -> Dict[str, object]:
+    """The raw derivation payload of a :class:`~repro.obs.provenance.ProvenanceLog`.
+
+    Node creation records (rule, iteration, matched class, substitution
+    digest, pid) plus union merge records — everything attribution consumes,
+    as plain JSON next to the Chrome trace.
+    """
+    from repro.obs.provenance import DERIVATION_SCHEMA
+
+    payload = log.export()
+    payload["schema"] = DERIVATION_SCHEMA
+    return payload
+
+
+def write_derivation_json(log, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(to_derivation_json(log), handle, indent=1)
+
+
+def to_derivation_dot(log, max_edges: int = 2000) -> str:
+    """Graphviz DOT of the derivation tree: ``matched class -> new class``
+    edges labelled ``rule@iteration``, seed classes drawn as plain boxes.
+
+    Rendered per canonical *creation-time* class id (rebuild may later merge
+    ids; the JSON payload keeps the full record stream for exact analysis).
+    Output is capped at ``max_edges`` derivation edges for viewability.
+    """
+    from repro.obs.provenance import ORIGINAL
+
+    lines = ["digraph derivation {", "  rankdir=BT;", '  node [shape=box, fontsize=10];']
+    declared = set()
+
+    def declare(class_id: int, op: str, original: bool) -> None:
+        if class_id in declared:
+            return
+        declared.add(class_id)
+        style = ' style=filled fillcolor="lightgrey"' if original else ""
+        lines.append(f'  c{class_id} [label="c{class_id}: {op}"{style}];')
+
+    edges = 0
+    truncated = 0
+    for record in log.nodes:
+        if record.rule == ORIGINAL:
+            declare(record.class_id, record.op, original=True)
+            continue
+        if edges >= max_edges:
+            truncated += 1
+            continue
+        declare(record.class_id, record.op, original=False)
+        if record.matched_class is not None:
+            label = f"{record.rule}@{record.iteration}"
+            lines.append(f'  c{record.matched_class} -> c{record.class_id} [label="{label}"];')
+            if record.matched_class not in declared:
+                declare(record.matched_class, "?", original=False)
+            edges += 1
+    if truncated:
+        lines.append(f"  // {truncated} derivation edges truncated (max_edges={max_edges})")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_derivation_dot(log, path: str, max_edges: int = 2000) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_derivation_dot(log, max_edges=max_edges))

@@ -7,9 +7,13 @@ Prometheus-style text exposition (:func:`prometheus_text`, also available as
 ``# HELP`` / ``# TYPE`` / ``name{labels} value`` format, ready for a future
 ``emorphic serve`` ``/metrics`` endpoint.
 
-The registry is process-local on purpose: worker processes publish into
-their own registry, and cross-process aggregation rides the span buffers
-(span counters are merged at barriers), not this module.
+The registry is process-local on purpose: forked workers start from a fresh
+registry (the pool initializers call :func:`reset_registry`, mirroring the
+fresh-local-tracer rule — the inherited parent registry is never the channel
+back), publish into it, and ship :meth:`MetricsRegistry.export` buffers to
+the parent, which folds them in with :meth:`MetricsRegistry.merge` at the
+same barriers where span buffers are merged: counters sum, gauges take the
+last write in merge order.
 """
 
 from __future__ import annotations
@@ -101,6 +105,31 @@ class MetricsRegistry:
             )
             out[f"{name}{rendered}"] = metric.value
         return out
+
+    def export(self) -> List[Dict[str, object]]:
+        """Picklable per-series buffer a worker ships back to its parent."""
+        return [
+            {
+                "name": name,
+                "kind": metric.kind,
+                "labels": [list(pair) for pair in labels],
+                "help": metric.help_text,
+                "value": metric.value,
+            }
+            for (name, labels), metric in sorted(self._metrics.items())
+        ]
+
+    def merge(self, buffer: List[Dict[str, object]]) -> None:
+        """Fold a worker's exported buffer in: counters sum, gauges last-write."""
+        for item in buffer:
+            labels = {key: value for key, value in item.get("labels", ())}
+            cls = Counter if item.get("kind") == "counter" else Gauge
+            metric = self._series(cls, str(item["name"]), str(item.get("help", "")), labels)
+            value = float(item.get("value", 0.0))
+            if metric.kind == "counter":
+                metric.value += value
+            else:
+                metric.value = value
 
     def exposition(self) -> str:
         """Prometheus text exposition format of every series."""

@@ -17,7 +17,11 @@ campaign's jobs are fully independent.  The executor
 When the caller has a tracer installed (``repro.obs.trace``), pool workers
 run their jobs under a local tracer and ship the span buffer back inside the
 job record; the parent grafts it into its trace as each job completes (and
-strips it before the record hits the store).
+strips it before the record hits the store).  A provenance recorder
+(``repro.obs.provenance``) rides the same channel under
+``record["provenance"]``, and pool workers always run from a fresh metrics
+registry, shipping their counters back under ``record["metrics"]`` for the
+parent to merge — so campaign-level counter totals match a serial run.
 """
 
 from __future__ import annotations
@@ -29,6 +33,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import provenance as obs_provenance
 from repro.obs import trace as obs
 from repro.obs.log import ensure_configured, get_logger
 from repro.orchestrate.jobs import JobSpec, run_job
@@ -147,6 +153,7 @@ def run_campaign(
     emit: ProgressFn = progress if callable(progress) else (lambda message: None)
     emit_event: EventFn = on_event if callable(on_event) else (lambda event: None)
     tracer = obs.current_tracer()
+    recorder = obs_provenance.current_recorder()
 
     start = time.perf_counter()
     keyed = [(spec, spec.job_hash()) for spec in jobs]
@@ -182,7 +189,17 @@ def run_campaign(
         else:
             try:
                 _run_pool(
-                    keyed, pending, store, workers, job_timeout, outcomes, total, emit, emit_event, tracer
+                    keyed,
+                    pending,
+                    store,
+                    workers,
+                    job_timeout,
+                    outcomes,
+                    total,
+                    emit,
+                    emit_event,
+                    tracer,
+                    recorder,
                 )
             except (OSError, PermissionError) as exc:
                 # Platforms that refuse to spawn processes fall back to serial.
@@ -229,14 +246,23 @@ def _finish(
     )
 
 
-def _merge_job_trace(record, tracer) -> None:
-    """Graft a worker job's span buffer into the parent trace (and drop it
-    from the record so stored results stay trace-free)."""
+def _merge_job_obs(record, tracer, recorder=None) -> None:
+    """Graft a worker job's observability buffers into the parent (and drop
+    them from the record so stored results stay buffer-free): span buffer
+    into the tracer, provenance buffer into the recorder, and counter buffer
+    into the process registry (counters sum, so campaign totals match a
+    serial run)."""
     if not isinstance(record, dict):
         return
     buffer = record.pop("trace", None)
     if buffer and tracer is not None:
         tracer.merge(buffer)
+    prov_buffer = record.pop("provenance", None)
+    if prov_buffer and recorder is not None:
+        recorder.merge(prov_buffer)
+    metrics_buffer = record.pop("metrics", None)
+    if metrics_buffer:
+        obs_metrics.registry().merge(metrics_buffer)
 
 
 def _run_serial(keyed, pending, store, outcomes, total, emit, emit_event) -> None:
@@ -263,7 +289,17 @@ def _run_serial(keyed, pending, store, outcomes, total, emit, emit_event) -> Non
 
 
 def _run_pool(
-    keyed, pending, store, workers, job_timeout, outcomes, total, emit, emit_event, tracer=None
+    keyed,
+    pending,
+    store,
+    workers,
+    job_timeout,
+    outcomes,
+    total,
+    emit,
+    emit_event,
+    tracer=None,
+    recorder=None,
 ) -> None:
     # Jobs are submitted in a sliding window of at most one per free worker,
     # so a future's submission time is (within scheduler noise) its start
@@ -281,7 +317,9 @@ def _run_pool(
         while queue and len(active) + len(zombies) < workers:
             index = queue.pop(0)
             spec, key = keyed[index]
-            future = pool.submit(run_job, spec, key, tracer is not None)
+            future = pool.submit(
+                run_job, spec, key, tracer is not None, recorder is not None, True
+            )
             futures[future] = index
             submitted[future] = time.perf_counter()
             active.add(future)
@@ -324,7 +362,7 @@ def _run_pool(
                 exc = future.exception()
                 if exc is None:
                     record = future.result()
-                    _merge_job_trace(record, tracer)
+                    _merge_job_obs(record, tracer, recorder)
                     outcome = JobOutcome(
                         spec=spec, key=key, status="completed", record=record, elapsed=elapsed
                     )

@@ -45,7 +45,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
 #:    payloads embed the ExtractionProfile under "extraction".
 #: 5: pipeline results embed the PartitionProfile under "partition" when a
 #:    script runs the partition/stitch passes.
-SCHEMA_VERSION = 5
+#: 6: flow results embed the RuleAttribution under "attribution" when a
+#:    provenance recorder is installed (``emorphic explain`` / ``--provenance``),
+#:    and PartitionProfile payloads carry per-window/aggregated attribution.
+SCHEMA_VERSION = 6
 
 FLOWS = ("baseline", "emorphic", "pipeline")
 
@@ -232,23 +235,52 @@ def _worker_ml_model(seed: int = 0):
     return _ML_MODEL_CACHE[seed]
 
 
-def run_job(spec: JobSpec, key: Optional[str] = None, traced: bool = False) -> Dict[str, object]:
+def run_job(
+    spec: JobSpec,
+    key: Optional[str] = None,
+    traced: bool = False,
+    provenance: bool = False,
+    ship_metrics: bool = False,
+) -> Dict[str, object]:
     """Execute one job and return its store record (runs inside workers).
 
     ``key`` is the precomputed job hash; when omitted it is derived from the
     spec (hashing re-renders the circuit content, so callers that already
     hold the key should pass it).  ``traced=True`` (set by the executor when
     the campaign parent traces) installs a job-local tracer and ships its
-    exported span buffer back under ``record["trace"]``; the executor merges
-    and strips it before the record is stored.
+    exported span buffer back under ``record["trace"]``; ``provenance=True``
+    does the same with a job-local provenance recorder under
+    ``record["provenance"]`` (and makes the result embed its attribution);
+    ``ship_metrics=True`` resets the worker registry before the job and ships
+    its counters under ``record["metrics"]``.  The executor merges and strips
+    all three before the record is stored.
     """
-    if traced:
-        # Install a *fresh* job-local tracer: forked pool workers inherit the
-        # parent's tracer object, but records appended to that copy are never
-        # seen by the parent — the exported buffer is the only channel back.
-        with obs.tracing() as tracer:
+    if traced or provenance or ship_metrics:
+        # Install *fresh* job-local observers: forked pool workers inherit
+        # the parent's tracer/recorder/registry objects, but state appended
+        # to those copies is never seen by the parent — the exported buffers
+        # are the only channel back.
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import provenance as obs_provenance
+
+        registry = obs_metrics.reset_registry() if ship_metrics else None
+        trace_cm = obs.tracing() if traced else None
+        prov_cm = obs_provenance.recording() if provenance else None
+        tracer = trace_cm.__enter__() if trace_cm is not None else None
+        recorder = prov_cm.__enter__() if prov_cm is not None else None
+        try:
             record = run_job(spec, key)
-        record["trace"] = tracer.export()
+        finally:
+            if prov_cm is not None:
+                prov_cm.__exit__(None, None, None)
+            if trace_cm is not None:
+                trace_cm.__exit__(None, None, None)
+        if tracer is not None:
+            record["trace"] = tracer.export()
+        if recorder is not None:
+            record["provenance"] = recorder.export()
+        if registry is not None:
+            record["metrics"] = registry.export()
         return record
     aig = spec.circuit.build()
     # Wall-clock timestamp of the record (when the run happened); durations

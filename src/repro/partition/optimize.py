@@ -14,10 +14,12 @@ run fail-soft and sound:
   stitching never degrades the host.
 
 Parallelism follows the extraction portfolio's idiom: windows ship to a
-``ProcessPoolExecutor`` whose initializer pins whether the parent traces;
-workers record spans into worker-local tracers and return the exported
-buffer with each result, and the parent merges buffers **in window-index
-order** at the barrier (pid-tagged, stamped with the window index).  Results
+``ProcessPoolExecutor`` whose initializer pins whether the parent traces and
+records provenance (and resets the forked metrics registry); workers record
+spans/provenance into worker-local tracers/recorders and publish counters
+into a per-task registry, returning all three exported buffers with each
+result, and the parent merges them **in window-index order** at the barrier
+(pid-tagged, stamped with the window index; counters sum).  Results
 are a pure function of ``(aig, configs)``: ``workers=0`` (inline) and any
 pool size produce identical stitched circuits, reports, and profiles modulo
 wall-clock fields.
@@ -44,6 +46,8 @@ from repro.engine import EngineLimits, SaturationEngine
 from repro.extraction.cost import DepthCost, NodeCountCost
 from repro.extraction.engine import PortfolioConfig, portfolio_extract
 from repro.extraction.greedy import greedy_extract
+from repro.obs import metrics as obs_metrics
+from repro.obs import provenance as obs_provenance
 from repro.obs import trace as obs
 from repro.partition.telemetry import PartitionProfile, WindowReport
 from repro.partition.windows import Window, partition_aig
@@ -136,6 +140,7 @@ def optimize_window(index: int, sub: Aig, cfg: WindowOptConfig) -> Tuple[WindowR
         outputs=sub.num_pos,
     )
     start = time.perf_counter()
+    plog = None
     span = obs.span("window", category="partition.window", window=index, ands=sub.num_ands)
     try:
         with span:
@@ -145,14 +150,21 @@ def optimize_window(index: int, sub: Aig, cfg: WindowOptConfig) -> Tuple[WindowR
                 max_nodes=cfg.max_nodes,
                 time_limit=cfg.time_limit,
             )
-            sat_profile = SaturationEngine(
+            engine = SaturationEngine(
                 circuit.egraph,
                 boolean_rules(),
                 limits,
                 scheduler=cfg.scheduler,
                 use_index=cfg.index,
                 dedup_matches=cfg.dedup,
-            ).run()
+            )
+            if obs_provenance.recording_enabled():
+                # One scoped log per window: each window is its own e-graph
+                # id space, so a shared log would mis-resolve class ids.
+                with obs_provenance.recording() as plog:
+                    sat_profile = engine.run()
+            else:
+                sat_profile = engine.run()
             report.saturation_stop = sat_profile.stop_reason
             report.saturation_iterations = sat_profile.num_iterations
             report.egraph_nodes = sat_profile.final_nodes
@@ -175,6 +187,13 @@ def optimize_window(index: int, sub: Aig, cfg: WindowOptConfig) -> Tuple[WindowR
                 extraction = result.extraction
                 report.extract_cost = result.cost
             optimized = extraction_to_aig(circuit, extraction, name=sub.name).strash()
+            if plog is not None:
+                try:
+                    report.attribution = obs_provenance.attribute_extraction(
+                        circuit, extraction, plog, profile=sat_profile, final_aig=optimized
+                    ).to_dict()
+                except Exception:  # attribution must never fail a window
+                    report.attribution = None
             cec = check_equivalence(
                 sub, optimized, sim_words=cfg.sim_words, conflict_budget=cfg.conflict_budget
             )
@@ -198,6 +217,11 @@ def optimize_window(index: int, sub: Aig, cfg: WindowOptConfig) -> Tuple[WindowR
     if optimized is None:
         report.ands_after = report.ands_before
         report.levels_after = report.levels_before
+    outer = obs_provenance.current_recorder()
+    if plog is not None and outer is not None:
+        # Graft the window's log into the enclosing recorder (the pipeline's,
+        # or the worker-local one a pool worker ships back) window-stamped.
+        outer.merge(plog.export(), window=index)
     report.wall_time = time.perf_counter() - start
     return report, optimized
 
@@ -205,23 +229,46 @@ def optimize_window(index: int, sub: Aig, cfg: WindowOptConfig) -> Tuple[WindowR
 # -- worker-side state (pool initializer idiom, as in the extraction portfolio)
 
 _WORKER_TRACED: bool = False
+_WORKER_PROVENANCE: bool = False
 
 
-def _init_worker(traced: bool = False) -> None:
-    global _WORKER_TRACED
+def _init_worker(traced: bool = False, provenance: bool = False) -> None:
+    global _WORKER_TRACED, _WORKER_PROVENANCE
     _WORKER_TRACED = traced
+    _WORKER_PROVENANCE = provenance
+    # Forked workers inherit a copy of the parent's metrics registry; like the
+    # fresh-local-tracer rule, they must never publish into it (counters are
+    # shipped back per task and merged at the barrier instead).
+    obs_metrics.reset_registry()
 
 
 def _worker_optimize(
     index: int, sub: Aig, cfg: WindowOptConfig
-) -> Tuple[WindowReport, Optional[Aig], Optional[list]]:
-    """Pool entry point: optimize one window, shipping the trace buffer back."""
-    if not _WORKER_TRACED:
+) -> Tuple[WindowReport, Optional[Aig], Optional[list], Optional[dict], Optional[list]]:
+    """Pool entry point: optimize one window, shipping the trace span,
+    provenance, and metrics buffers back with the result."""
+    # Fresh registry per task, not just per worker: pool processes are reused
+    # across windows, and shipping a cumulative registry every task would
+    # double-count earlier windows at the merge.
+    registry = obs_metrics.reset_registry()
+    trace_cm = obs.tracing() if _WORKER_TRACED else None
+    prov_cm = obs_provenance.recording() if _WORKER_PROVENANCE else None
+    tracer = trace_cm.__enter__() if trace_cm is not None else None
+    recorder = prov_cm.__enter__() if prov_cm is not None else None
+    try:
         report, optimized = optimize_window(index, sub, cfg)
-        return report, optimized, None
-    with obs.tracing() as tracer:
-        report, optimized = optimize_window(index, sub, cfg)
-    return report, optimized, tracer.export() or None
+    finally:
+        if prov_cm is not None:
+            prov_cm.__exit__(None, None, None)
+        if trace_cm is not None:
+            trace_cm.__exit__(None, None, None)
+    return (
+        report,
+        optimized,
+        (tracer.export() or None) if tracer is not None else None,
+        recorder.export() if recorder is not None and recorder.nodes else None,
+        registry.export() or None,
+    )
 
 
 def partitioned_optimize(
@@ -265,22 +312,31 @@ def partitioned_optimize(
     reports: List[Optional[WindowReport]] = [None] * len(windows)
     optimized: List[Optional[Aig]] = [None] * len(windows)
     tracer = obs.current_tracer()
+    recorder = obs_provenance.current_recorder()
     with obs.span("optimize windows", category="partition", windows=len(windows)):
         if partition.workers > 0 and len(windows) > 1:
             with ProcessPoolExecutor(
-                partition.workers, initializer=_init_worker, initargs=(obs.tracing_enabled(),)
+                partition.workers,
+                initializer=_init_worker,
+                initargs=(obs.tracing_enabled(), obs_provenance.recording_enabled()),
             ) as pool:
                 futures = [
                     pool.submit(_worker_optimize, w.index, w.aig, window_cfg) for w in windows
                 ]
-                # Collect (and merge trace buffers) in window-index order so
-                # traced output is deterministic regardless of completion order.
+                # Collect (and merge trace/provenance/metrics buffers) in
+                # window-index order so observability output is deterministic
+                # regardless of completion order.
                 for w, future in zip(windows, futures):
-                    report, opt, buffer = future.result()
+                    report, opt, buffer, prov_buffer, metrics_buffer = future.result()
                     reports[w.index] = report
                     optimized[w.index] = opt
                     if buffer and tracer is not None:
                         tracer.merge(buffer, window=w.index)
+                    if prov_buffer and recorder is not None:
+                        # Records are already window-stamped worker-side.
+                        recorder.merge(prov_buffer)
+                    if metrics_buffer:
+                        obs_metrics.registry().merge(metrics_buffer)
         else:
             for w in windows:
                 reports[w.index], optimized[w.index] = optimize_window(w.index, w.aig, window_cfg)
@@ -295,6 +351,14 @@ def partitioned_optimize(
     profile.stitch_time = time.perf_counter() - t0
 
     profile.windows = [r for r in reports if r is not None]
+    if any(r.attribution is not None for r in profile.windows):
+        # Aggregate the windows whose optimized cones actually survived into
+        # the stitched circuit; reverted windows keep their per-window report.
+        profile.rule_attribution = obs_provenance.RuleAttribution.aggregate(
+            obs_provenance.RuleAttribution.from_dict(r.attribution)
+            for r in profile.windows
+            if r.attribution is not None and r.accepted
+        ).to_dict()
     profile.ands_after = stitched.num_ands
     profile.levels_after = logic_depth(stitched)
     if verify:

@@ -41,6 +41,9 @@ class WindowReport:
     extract_cost: Optional[float] = None
     wall_time: float = 0.0
     error: Optional[str] = None
+    #: Per-window :class:`~repro.obs.provenance.RuleAttribution` payload; only
+    #: set when a provenance recorder was installed during the run.
+    attribution: Optional[Dict[str, object]] = None
 
     @property
     def accepted(self) -> bool:
@@ -73,6 +76,9 @@ class PartitionProfile:
     stitch_time: float = 0.0
     wall_time: float = 0.0
     final_cec: Optional[str] = None
+    #: Aggregated rule attribution over the *accepted* windows (the e-nodes
+    #: that survived into the stitched circuit); provenance runs only.
+    rule_attribution: Optional[Dict[str, object]] = None
 
     @property
     def accepted_windows(self) -> int:
@@ -116,6 +122,7 @@ class PartitionProfile:
             "stitch_time": self.stitch_time,
             "wall_time": self.wall_time,
             "final_cec": self.final_cec,
+            "rule_attribution": self.rule_attribution,
             "windows": [w.to_dict() for w in self.windows],
         }
 
@@ -136,6 +143,7 @@ class PartitionProfile:
             stitch_time=payload.get("stitch_time", 0.0),
             wall_time=payload.get("wall_time", 0.0),
             final_cec=payload.get("final_cec"),
+            rule_attribution=payload.get("rule_attribution"),
         )
         profile.windows = [WindowReport.from_dict(w) for w in payload.get("windows", [])]
         return profile

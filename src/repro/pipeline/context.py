@@ -68,6 +68,12 @@ class FlowContext:
     partition_plan: Optional[object] = None
     #: Partitioned-run telemetry; set by ``stitch``.
     partition_profile: Optional[object] = None
+    #: Scoped provenance log of the last ``saturate``; only set while a
+    #: provenance recorder is installed, invalidated with the e-graph.
+    provenance_log: Optional[object] = None
+    #: Rule-level QoR attribution; set by ``extract``/``stitch`` when a
+    #: provenance recorder is installed.
+    attribution: Optional[object] = None
     equivalence: Optional[CecResult] = None
     #: Optional learned cost model consumed by ``extract(use_ml=true)``.
     ml_model: Optional[object] = None
@@ -97,6 +103,7 @@ class FlowContext:
         self.circuit = None
         self.candidates = []
         self.partition_plan = None
+        self.provenance_log = None
 
     # -- timing ledger ------------------------------------------------------
 

@@ -41,6 +41,7 @@ from repro.extraction.parallel import ParallelSAConfig, parallel_sa_extract
 from repro.extraction.random_extract import random_extract
 from repro.extraction.sa import AnnealingSchedule
 from repro.mapping.cut_mapping import map_aig
+from repro.obs import provenance as obs_provenance
 from repro.opt.balance import balance
 from repro.opt.dch import compute_choices
 from repro.opt.refactor import refactor
@@ -273,7 +274,17 @@ def _pass_saturate(
         use_index=index,
         dedup_matches=dedup,
     )
-    ctx.rewrite_report = engine.run()
+    if obs_provenance.recording_enabled():
+        # Scope a fresh log per saturation run so one log never spans two
+        # e-graphs' id spaces, then graft it into the outer recorder — the
+        # same shape as a worker's trace buffer.
+        outer = obs_provenance.current_recorder()
+        with obs_provenance.recording() as plog:
+            ctx.rewrite_report = engine.run()
+        outer.merge(plog.export())
+        ctx.provenance_log = plog
+    else:
+        ctx.rewrite_report = engine.run()
     ctx.metrics["saturation_stop_reason"] = ctx.rewrite_report.stop_reason
     ctx.metrics["saturation_scheduler"] = ctx.rewrite_report.scheduler
     ctx.metrics["saturation_matches"] = ctx.rewrite_report.total_matches
@@ -433,6 +444,17 @@ def _pass_extract(
     ]
     ctx.aig = ctx.candidates[0]
     ctx.metrics["num_candidates"] = len(ctx.candidates)
+    if ctx.provenance_log is not None:
+        # Walk the chosen extraction back through the saturation provenance:
+        # which rule created each surviving e-node, and what it earned.
+        ctx.attribution = obs_provenance.attribute_extraction(
+            circuit,
+            extractions[0],
+            ctx.provenance_log,
+            profile=ctx.rewrite_report,
+            final_aig=ctx.candidates[0],
+        )
+        ctx.metrics["attribution_derived_ands"] = ctx.attribution.derived_ands
 
 
 # --------------------------------------------------------------------------
@@ -511,6 +533,10 @@ def _pass_stitch(ctx: FlowContext, verify: bool = True) -> None:
     ctx.circuit = None
     ctx.candidates = []
     ctx.partition_profile = outcome.profile
+    if outcome.profile.rule_attribution is not None:
+        ctx.attribution = obs_provenance.RuleAttribution.from_dict(
+            outcome.profile.rule_attribution
+        )
     ctx.metrics["partition_windows"] = outcome.profile.num_windows
     ctx.metrics["partition_accepted"] = outcome.profile.accepted_windows
     ctx.metrics["partition_reverted"] = outcome.profile.reverted_windows

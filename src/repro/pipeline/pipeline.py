@@ -123,6 +123,8 @@ class PipelineResult:
     extraction_profile: Optional[object] = None
     #: Partitioned-run telemetry when the script ran ``partition``/``stitch``.
     partition_profile: Optional[object] = None
+    #: Rule-level QoR attribution when a provenance recorder was installed.
+    attribution: Optional[object] = None
 
     @property
     def levels(self) -> int:
@@ -151,6 +153,7 @@ class PipelineResult:
             "saturation": None if self.rewrite_report is None else self.rewrite_report.to_dict(),
             "extraction": None if self.extraction_profile is None else self.extraction_profile.to_dict(),
             "partition": None if self.partition_profile is None else self.partition_profile.to_dict(),
+            "attribution": None if self.attribution is None else self.attribution.to_dict(),
         }
         if self.mapping is not None:
             data["area"] = self.mapping.area
@@ -290,4 +293,5 @@ class Pipeline:
             rewrite_report=ctx.rewrite_report,
             extraction_profile=ctx.extraction_profile,
             partition_profile=ctx.partition_profile,
+            attribution=ctx.attribution,
         )

@@ -190,6 +190,35 @@ def _walk_records(nodes):
         yield from _walk_records(node["children"])
 
 
+class TestPartitionedSpanSummary:
+    def test_span_summary_over_merged_multi_pid_trace(self):
+        # A partitioned workers=2 run merges worker span buffers at the
+        # barrier; span_summary must digest the multi-pid trace exactly like
+        # the inline single-pid one (categories and counts, not timings).
+        from repro.benchgen import epfl
+        from repro.partition import PartitionConfig, WindowOptConfig, partitioned_optimize
+
+        aig = epfl.build("log2", preset="test")
+        cfg = WindowOptConfig(iters=2, max_nodes=2_500, chains=2, moves=8)
+
+        def run(workers):
+            with tracing() as tracer:
+                partitioned_optimize(aig, PartitionConfig(k=60, workers=workers), cfg)
+            return tracer
+
+        inline, pooled = run(0), run(2)
+        pids = {r.pid for r in pooled.records if r.category == "partition.window"}
+        assert len(pids) >= 1  # window spans recorded in workers, pid-tagged
+        inline_summary, pooled_summary = span_summary(inline), span_summary(pooled)
+        assert set(inline_summary) == set(pooled_summary)
+        assert "partition.window" in pooled_summary
+        num_windows = pooled_summary["partition.window"]["count"]
+        assert inline_summary["partition.window"]["count"] == num_windows
+        for category, bucket in pooled_summary.items():
+            assert bucket["count"] == inline_summary[category]["count"]
+            assert bucket["total"] >= 0.0
+
+
 # --------------------------------------------------------------------------
 # Metrics.
 
