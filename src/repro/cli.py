@@ -31,7 +31,17 @@ Subcommands:
   result caching;
 * ``sweep``     — design-space exploration over config grids, or over flow
   *shapes* with repeated ``--script`` options;
-* ``cache``     — inspect or clear the persistent result store.
+* ``cache``     — inspect or clear the persistent result store;
+* ``history``   — query the persistent run ledger (every run/pipeline/batch/
+  sweep/bench invocation appends its QoR and runtime), comparing each
+  (circuit, script, config) group's latest run against a rolling median
+  baseline; ``--check`` exits non-zero on regression (the CI gate);
+* ``report``    — render the run-ledger history as a static HTML report
+  (QoR trend sparklines, pass-runtime waterfall, e-graph growth curves,
+  rule-yield table).
+
+``run`` and ``pipeline`` accept ``--sample-resources`` to record peak RSS
+and per-iteration e-graph growth into the result payload and the ledger.
 """
 
 from __future__ import annotations
@@ -156,6 +166,114 @@ def _maybe_provenance(args: argparse.Namespace):
     with recording() as recorder:
         yield recorder
     _write_derivation(recorder, path)
+
+
+def _add_resource_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sample-resources",
+        action="store_true",
+        help="sample peak RSS and per-iteration e-graph growth during the run "
+        "(the result payload and the ledger record then embed the resource telemetry)",
+    )
+
+
+@contextmanager
+def _maybe_sample(args: argparse.Namespace):
+    """Install a resource sampler when ``--sample-resources`` was given."""
+    if not getattr(args, "sample_resources", False):
+        yield None
+        return
+    from repro.obs import sampling
+
+    with sampling() as sampler:
+        yield sampler
+
+
+def _add_ledger_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="DIR",
+        help="run-ledger directory (default: $EMORPHIC_LEDGER or ~/.cache/emorphic/ledger)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not append this invocation to the run ledger",
+    )
+
+
+def _add_history_filter_args(parser: argparse.ArgumentParser) -> None:
+    """Shared ``history``/``report`` selectors over the run ledger."""
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="DIR",
+        help="run-ledger directory (default: $EMORPHIC_LEDGER or ~/.cache/emorphic/ledger)",
+    )
+    parser.add_argument(
+        "--kind",
+        default=None,
+        choices=["run", "pipeline", "batch", "sweep", "bench"],
+        help="only records appended by this command kind",
+    )
+    parser.add_argument("--circuit", default=None, help="only records of this circuit (exact)")
+    parser.add_argument("--script", default=None, help="only records whose script contains this text")
+    parser.add_argument("--flow", default=None, help="only records of this flow/tag (exact)")
+    parser.add_argument(
+        "--last",
+        type=int,
+        default=5,
+        metavar="N",
+        help="rolling-baseline window: latest run vs the median of the previous N",
+    )
+
+
+def _ledger_append(args: argparse.Namespace, record: Dict[str, object]) -> None:
+    """Best-effort append to the run ledger (never fails the command)."""
+    if getattr(args, "no_ledger", False):
+        return
+    from repro.obs import log_record
+
+    record_id = log_record(record, getattr(args, "ledger", None))
+    if record_id:
+        _LOG.debug(f"ledger record {record_id} appended")
+
+
+def _result_ledger_record(
+    kind: str,
+    circuit: str,
+    result,
+    tracer=None,
+    flow: Optional[str] = None,
+    script: Optional[str] = None,
+    config: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Ledger record of one in-process flow/pipeline result object."""
+    from repro.obs import flow_record
+    from repro.obs.export import span_summary
+
+    stats = result.aig.stats()
+    mapping = getattr(result, "mapping", None)
+    attribution = getattr(result, "attribution", None)
+    return flow_record(
+        kind,
+        circuit=circuit,
+        flow=flow,
+        script=script,
+        config=config,
+        qor={
+            "ands": stats["ands"],
+            "levels": stats["levels"],
+            "delay": None if mapping is None else mapping.delay,
+            "area": None if mapping is None else mapping.area,
+        },
+        runtime=result.runtime,
+        pass_runtimes=getattr(result, "pass_runtimes", None),
+        span_summary=None if tracer is None else span_summary(tracer),
+        attribution=None if attribution is None else attribution.to_dict(),
+        resource=getattr(result, "resource", None),
+    )
 
 
 def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
@@ -286,8 +404,9 @@ def cmd_baseline(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     aig = _load_circuit(args)
-    with _maybe_trace(args), _maybe_provenance(args):
-        result = run_emorphic_flow(aig, _emorphic_config(args))
+    config = _emorphic_config(args)
+    with _maybe_trace(args) as tracer, _maybe_provenance(args), _maybe_sample(args):
+        result = run_emorphic_flow(aig, config)
     print(
         f"{aig.name}: area={result.area:.2f} um^2  delay={result.delay:.2f} ps  "
         f"lev={result.levels}  runtime={result.runtime:.2f} s"
@@ -298,6 +417,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     total = sum(breakdown.values()) or 1.0
     for phase, seconds in breakdown.items():
         print(f"  {phase:20s} {seconds:8.2f} s ({100 * seconds / total:5.1f}%)")
+    _ledger_append(
+        args,
+        _result_ledger_record(
+            "run", aig.name, result, tracer, flow="emorphic", config=config.to_dict()
+        ),
+    )
     return 0
 
 
@@ -347,7 +472,7 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
             extra={"pass": name, "seconds": seconds, "ands": stats["ands"], "levels": stats["levels"]},
         )
 
-    with _maybe_trace(args), _maybe_provenance(args):
+    with _maybe_trace(args) as tracer, _maybe_provenance(args), _maybe_sample(args):
         result = pipeline.run_flow(aig, on_pass_end=on_pass_end if args.verbose else None)
     print(f"pipeline: {pipeline.to_script()}")
     if result.mapping is not None:
@@ -371,6 +496,10 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         with open(args.json, "w") as handle:
             json.dump(result.to_dict(), handle, indent=2)
         _LOG.info(f"report written to {args.json}")
+    _ledger_append(
+        args,
+        _result_ledger_record("pipeline", aig.name, result, tracer, script=pipeline.to_script()),
+    )
     return 0
 
 
@@ -462,10 +591,36 @@ def _validated_circuits(text: Optional[str]) -> Optional[List[str]]:
     return circuits
 
 
-def _bench_epilogue(payload: Dict[str, object], args: argparse.Namespace) -> int:
-    """Shared bench tail: --json payload dump + --reference regression gate."""
+def _bench_ledger_record(name: str, payload: Dict[str, object]) -> Dict[str, object]:
+    """One ledger record summarizing a bench invocation (kind ``"bench"``).
+
+    The record carries the summed per-run wall-clock as its runtime plus the
+    payload's summary block; the regression gate against checked-in bench
+    references is unchanged — this only adds the bench to the run history.
+    """
+    from repro.obs import flow_record
+
+    circuits = payload.get("circuits") or {}
+    wall, have = 0.0, False
+    for entry in circuits.values():
+        for run in (entry.get("runs") or {}).values():
+            if isinstance(run, dict) and "wall_time" in run:
+                wall += float(run["wall_time"])
+                have = True
+    return flow_record(
+        "bench",
+        script=name,
+        config={"script": name, "limits": payload.get("limits"), "fast": payload.get("fast")},
+        runtime=wall if have else None,
+        extra={"bench": name, "summary": payload.get("summary"), "circuits": sorted(circuits)},
+    )
+
+
+def _bench_epilogue(payload: Dict[str, object], args: argparse.Namespace, name: str) -> int:
+    """Shared bench tail: ledger append + --json dump + --reference gate."""
     from repro.engine.bench import check_regressions
 
+    _ledger_append(args, _bench_ledger_record(name, payload))
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -497,7 +652,7 @@ def cmd_saturate_bench(args: argparse.Namespace) -> int:
         progress=(lambda message: _LOG.info(f"  {message}")),
     )
     print(render_bench(payload))
-    return _bench_epilogue(payload, args)
+    return _bench_epilogue(payload, args, "saturate-bench")
 
 
 def cmd_extract_bench(args: argparse.Namespace) -> int:
@@ -517,7 +672,7 @@ def cmd_extract_bench(args: argparse.Namespace) -> int:
         progress=(lambda message: _LOG.info(f"  {message}")),
     )
     print(render_bench(payload))
-    return _bench_epilogue(payload, args)
+    return _bench_epilogue(payload, args, "extract-bench")
 
 
 def cmd_partition_bench(args: argparse.Namespace) -> int:
@@ -539,7 +694,7 @@ def cmd_partition_bench(args: argparse.Namespace) -> int:
         )
     print(render_bench(payload))
     completions = check_completions(payload)
-    status = _bench_epilogue(payload, args)
+    status = _bench_epilogue(payload, args, "partition-bench")
     if completions:
         print("PARTITION BENCH GATE FAILED:")
         for failure in completions:
@@ -589,6 +744,54 @@ def _campaign_base_config(args: argparse.Namespace) -> EmorphicConfig:
     return EmorphicConfig.fast() if args.profile == "fast" else EmorphicConfig()
 
 
+def _outcome_ledger_record(kind: str, outcome) -> Dict[str, object]:
+    """Ledger record of one successful campaign job outcome."""
+    from repro.obs import flow_record
+
+    spec = outcome.spec
+    result = (outcome.record or {}).get("result") or {}
+    script = None
+    if spec.flow == "pipeline":
+        value = spec.config.get("script")
+        script = str(value) if value else None
+    return flow_record(
+        kind,
+        circuit=spec.circuit.name,
+        flow=spec.tag or spec.flow,
+        script=script,
+        config=spec.config,
+        qor={
+            "ands": result.get("ands"),
+            "levels": result.get("levels"),
+            "delay": result.get("delay"),
+            "area": result.get("area"),
+        },
+        runtime=result.get("runtime"),
+        pass_runtimes=result.get("pass_runtimes") or None,
+        attribution=result.get("attribution"),
+        resource=result.get("resource"),
+        extra={"status": outcome.status, "key": outcome.key},
+    )
+
+
+def _campaign_ledger_append(args: argparse.Namespace, kind: str, report) -> None:
+    """Append one ledger record per successful outcome of a campaign."""
+    if getattr(args, "no_ledger", False):
+        return
+    for outcome in report.successful():
+        _ledger_append(args, _outcome_ledger_record(kind, outcome))
+
+
+def _print_store_counters() -> None:
+    """One line of process-lifetime result-store lookup counters."""
+    from repro.obs.metrics import registry
+
+    hits = registry().counter("store_hits_total").value
+    misses = registry().counter("store_misses_total").value
+    if hits or misses:
+        print(f"result store: {int(hits)} cache hits, {int(misses)} misses")
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     from repro.orchestrate import make_job, make_pipeline_job, run_campaign
     from repro.orchestrate.report import render_table2, table2_summary
@@ -628,7 +831,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         progress, on_event = False, renderer.handle
     else:
         progress, on_event = True, None
-    with _maybe_trace(args), _maybe_provenance(args):
+    with _maybe_trace(args), _maybe_provenance(args), _maybe_sample(args):
         report = run_campaign(
             jobs,
             store=args.store,
@@ -642,6 +845,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if summary["rows"]:
         print()
         print(render_table2(summary, title=f"Campaign QoR ({args.preset} preset)"))
+    _print_store_counters()
+    _campaign_ledger_append(args, "batch", report)
     if args.json:
         payload = {"campaign": report.to_dict(), "summary": summary}
         with open(args.json, "w") as handle:
@@ -693,6 +898,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if frontier:
             print()
             print(render_frontier(frontier, title=f"Pipeline-shape frontier ({len(report.points)} shapes)"))
+        _print_store_counters()
+        _campaign_ledger_append(args, "sweep", report.campaign)
         if args.json:
             with open(args.json, "w") as handle:
                 json.dump(report.to_dict(), handle, indent=2)
@@ -722,6 +929,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if frontier:
         print()
         print(render_frontier(frontier, title=f"Sweep frontier ({len(report.points)} grid points)"))
+    _print_store_counters()
+    _campaign_ledger_append(args, "sweep", report.campaign)
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(report.to_dict(), handle, indent=2)
@@ -740,6 +949,13 @@ def cmd_cache(args: argparse.Namespace) -> int:
         for scope in ("per_flow", "per_circuit"):
             for name, count in sorted(stats[scope].items()):
                 print(f"  {scope[4:]}: {name:12s} {count}")
+        # Lookup counters are process-local (published by ResultStore.get via
+        # the metrics registry); campaigns print the same line after running.
+        from repro.obs.metrics import registry
+
+        hits = registry().counter("store_hits_total").value
+        misses = registry().counter("store_misses_total").value
+        print(f"lookups (this process): {int(hits)} hits, {int(misses)} misses")
     elif args.action == "list":
         for record in store.records():
             job = record.get("job") or {}
@@ -751,6 +967,95 @@ def cmd_cache(args: argparse.Namespace) -> int:
             )
     elif args.action == "clear":
         print(f"removed {store.clear()} records from {store.root}")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Run-ledger history and reporting.
+
+
+def _ledger_records(args: argparse.Namespace):
+    """Open the ledger and apply the shared --kind/--circuit/--script/--flow filters."""
+    from repro.obs import RunLedger
+
+    ledger = RunLedger(args.ledger)
+    records = ledger.records(
+        kind=args.kind, circuit=args.circuit, script=args.script, flow=args.flow
+    )
+    return ledger, records
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    from repro.obs import check_records, compare_group, group_records
+    from repro.obs.ledger import QOR_METRICS, _short
+
+    ledger, records = _ledger_records(args)
+    if not records:
+        print(f"no matching ledger records under {ledger.file}")
+        return 0
+    groups = group_records(records)
+    comparisons = {
+        key: compare_group(history, window=args.last) for key, history in sorted(groups.items())
+    }
+    if args.json:
+        payload = {
+            "ledger": str(ledger.file),
+            "records": len(records),
+            "groups": [
+                {
+                    "circuit": circuit,
+                    "script": script,
+                    "config_hash": cfg,
+                    "runs": len(groups[(circuit, script, cfg)]),
+                    "comparison": comparison,
+                }
+                for (circuit, script, cfg), comparison in comparisons.items()
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        _LOG.info(f"history written to {args.json}")
+    print(f"{len(records)} records, {len(groups)} (circuit, script, config) groups in {ledger.file}")
+    for (circuit, script, cfg), comparison in comparisons.items():
+        history = groups[(circuit, script, cfg)]
+        print(f"{circuit or '-'} [{_short(script)} @{cfg[:8]}] — {len(history)} runs")
+        for metric in QOR_METRICS + ("runtime",):
+            cell = comparison[metric]
+            if cell["latest"] is None:
+                continue
+            if cell["baseline"] is None:
+                print(f"  {metric:8s} {cell['latest']:12g}  (no baseline yet)")
+            else:
+                print(
+                    f"  {metric:8s} {cell['latest']:12g}  baseline {cell['baseline']:12g}"
+                    f"  ({cell['ratio']:.3f}x of rolling median)"
+                )
+    if args.check:
+        failures = check_records(
+            records,
+            window=args.last,
+            qor_tolerance=args.qor_tolerance,
+            runtime_ratio=args.max_runtime_ratio,
+        )
+        if failures:
+            print("HISTORY REGRESSION:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(
+            f"no regression vs rolling median of last {args.last} runs "
+            f"(QoR tolerance {100 * args.qor_tolerance:.0f}%, "
+            f"runtime {args.max_runtime_ratio:.1f}x)"
+        )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import write_history_html
+
+    ledger, records = _ledger_records(args)
+    write_history_html(args.out, records, window=args.last)
+    print(f"history report ({len(records)} records from {ledger.file}) written to {args.out}")
     return 0
 
 
@@ -797,6 +1102,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_emorphic_args(p_run)
     _add_trace_arg(p_run)
     _add_provenance_arg(p_run)
+    _add_resource_arg(p_run)
+    _add_ledger_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare baseline and E-morphic on one circuit")
@@ -816,6 +1123,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_pipe.add_argument("--json", default=None, help="write the result summary to this JSON file")
     _add_trace_arg(p_pipe)
     _add_provenance_arg(p_pipe)
+    _add_resource_arg(p_pipe)
+    _add_ledger_args(p_pipe)
     p_pipe.set_defaults(func=cmd_pipeline)
 
     p_trace = sub.add_parser(
@@ -893,6 +1202,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="fail when wall-clock exceeds reference by this factor",
     )
+    _add_ledger_args(p_bench)
     p_bench.set_defaults(func=cmd_saturate_bench)
 
     p_ebench = sub.add_parser(
@@ -934,6 +1244,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="fail when wall-clock exceeds reference by this factor",
     )
+    _add_ledger_args(p_ebench)
     p_ebench.set_defaults(func=cmd_extract_bench)
 
     p_pbench = sub.add_parser(
@@ -986,6 +1297,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail when wall-clock exceeds reference by this factor",
     )
     _add_trace_arg(p_pbench)
+    _add_ledger_args(p_pbench)
     p_pbench.set_defaults(func=cmd_partition_bench)
 
     p_batch = sub.add_parser(
@@ -1010,6 +1322,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_args(p_batch)
     _add_trace_arg(p_batch)
     _add_provenance_arg(p_batch)
+    _add_resource_arg(p_batch)
+    _add_ledger_args(p_batch)
     p_batch.set_defaults(func=cmd_batch)
 
     p_sweep = sub.add_parser(
@@ -1030,12 +1344,50 @@ def build_parser() -> argparse.ArgumentParser:
         "exclusive with --param)",
     )
     _add_campaign_args(p_sweep)
+    _add_ledger_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the persistent result store")
     p_cache.add_argument("action", choices=["stats", "list", "clear"])
     p_cache.add_argument("--store", default=None, help="result store directory")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_hist = sub.add_parser(
+        "history",
+        help="query the persistent run ledger: latest run vs rolling median "
+        "baseline per (circuit, script, config) group; --check gates CI",
+    )
+    _add_history_filter_args(p_hist)
+    p_hist.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when any group's latest run regresses vs its rolling baseline",
+    )
+    p_hist.add_argument(
+        "--qor-tolerance",
+        type=float,
+        default=0.02,
+        help="fractional QoR slack before --check fails (default 0.02 = 2%%)",
+    )
+    p_hist.add_argument(
+        "--max-runtime-ratio",
+        type=float,
+        default=2.0,
+        help="fail --check when runtime exceeds the baseline by this factor (timing is noisy)",
+    )
+    p_hist.add_argument("--json", default=None, help="write the comparison payload to this JSON file")
+    p_hist.set_defaults(func=cmd_history)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render the run-ledger history as static HTML (QoR sparklines, "
+        "pass-runtime waterfall, growth curves, rule yields)",
+    )
+    _add_history_filter_args(p_report)
+    p_report.add_argument(
+        "--out", default="history.html", help="write the HTML report to this file"
+    )
+    p_report.set_defaults(func=cmd_report)
     return parser
 
 

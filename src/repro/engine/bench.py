@@ -130,6 +130,37 @@ def _bench_provenance(aig, limits: EngineLimits) -> Dict[str, object]:
     }
 
 
+def _bench_resource(aig, limits: EngineLimits) -> Dict[str, object]:
+    """Sampling-on overhead probe: the default ``engine`` variant re-run
+    under a resource sampler.  Lands in the payload as the additive
+    per-circuit ``"resource"`` key — the regression gate reads only the
+    per-variant ``runs``, so this documents the measured overhead without
+    gating on it."""
+    from repro.obs import resource as obs_resource
+
+    variant = VARIANTS[-1]  # the default "engine" configuration
+    circuit = aig_to_egraph(aig)
+    start = time.perf_counter()
+    with obs_resource.sampling() as sampler:
+        SaturationEngine(
+            circuit.egraph,
+            boolean_rules(),
+            limits,
+            scheduler=variant.scheduler,
+            use_index=variant.use_index,
+            dedup_matches=variant.dedup,
+        ).run()
+    wall_time = time.perf_counter() - start
+    aggregate = obs_resource.aggregate_samples(sampler.export()) or {}
+    return {
+        "wall_time": wall_time,
+        "samples": len(sampler.samples),
+        "peak_rss_bytes": aggregate.get("peak_rss_bytes", 0),
+        "adds": aggregate.get("adds", 0),
+        "unions": aggregate.get("unions", 0),
+    }
+
+
 def run_saturation_bench(
     circuits: Optional[Sequence[str]] = None,
     preset: str = "bench",
@@ -192,6 +223,13 @@ def run_saturation_bench(
             prov["wall_time"] / engine_wall if engine_wall > 0 else float("inf")
         )
         entry["provenance"] = prov
+        if progress:
+            progress(f"{name}: resource-sampling overhead ...")
+        res = _bench_resource(aig, limits)
+        res["overhead_vs_engine"] = (
+            res["wall_time"] / engine_wall if engine_wall > 0 else float("inf")
+        )
+        entry["resource"] = res
         legacy_wall = entry["runs"]["legacy"]["wall_time"]
         entry["speedup"] = {}
         for variant in VARIANTS:
@@ -234,6 +272,13 @@ def render_bench(payload: Dict[str, object]) -> str:
                 f"{name:12s} provenance recording: {prov['wall_time']:.2f}s "
                 f"({prov['overhead_vs_engine']:.2f}x engine, "
                 f"{prov['nodes_recorded']} nodes, {prov['merges_recorded']} merges)"
+            )
+        res = entry.get("resource")
+        if res:
+            lines.append(
+                f"{name:12s} resource sampling: {res['wall_time']:.2f}s "
+                f"({res['overhead_vs_engine']:.2f}x engine, "
+                f"peak RSS {res['peak_rss_bytes'] / (1024 * 1024):.1f} MiB)"
             )
     geomeans = payload.get("summary", {}).get("geomean_speedup", {})
     if geomeans:

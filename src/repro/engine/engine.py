@@ -46,6 +46,7 @@ from repro.engine.index import OpIndex
 from repro.engine.scheduler import Scheduler, make_scheduler
 from repro.engine.telemetry import IterationReport, RuleProfile, SaturationProfile
 from repro.obs import provenance as obs_provenance
+from repro.obs import resource as obs_resource
 from repro.obs import trace as obs
 from repro.obs.metrics import registry as obs_registry
 
@@ -146,6 +147,11 @@ class SaturationEngine:
         recorder = obs_provenance.current_recorder()
         if recorder is not None:
             recorder.attach(egraph)
+        # Resource sampling rides the same installed-observer gate: with no
+        # sampler (the common case) the run and its to_dict payload are
+        # byte-identical to an unsampled build.
+        sampler = obs_resource.current_sampler()
+        rscope = sampler.begin(egraph) if sampler is not None else None
         rule_stats: Dict[str, RuleProfile] = {
             rule.name: RuleProfile(name=rule.name) for rule in self.rules
         }
@@ -241,6 +247,8 @@ class SaturationEngine:
 
                         report.num_classes = egraph.num_classes
                         report.num_nodes = egraph.num_nodes
+                        if rscope is not None:
+                            rscope.snapshot(iteration, egraph.num_classes, egraph.num_nodes)
                         iter_span.set("classes", egraph.num_classes)
                         iter_span.set("nodes", egraph.num_nodes)
                         iter_span.set("applications", total_applied)
@@ -264,6 +272,9 @@ class SaturationEngine:
                     index.detach()
                 if recorder is not None:
                     recorder.detach(egraph)
+                resource_sample = (
+                    sampler.end(rscope).to_dict() if rscope is not None else None
+                )
             run_span.set("stop_reason", stop_reason)
             run_span.set("iterations", len(iterations))
         self.profile = SaturationProfile(
@@ -274,6 +285,7 @@ class SaturationEngine:
             scheduler=scheduler.name,
             indexed=self.use_index,
             dedup=self.dedup_matches,
+            resource=resource_sample,
         )
         metrics = obs_registry()
         metrics.counter("saturation_runs_total", "saturation engine runs").inc()

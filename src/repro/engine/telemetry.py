@@ -12,7 +12,7 @@ per-iteration growth curves.  Everything serializes to plain JSON via
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -79,6 +79,10 @@ class SaturationProfile:
     scheduler: str = "simple"
     indexed: bool = False
     dedup: bool = False
+    #: A ``repro.obs.resource.ResourceSample`` payload when a sampler was
+    #: installed during the run; None (and absent from ``to_dict``) otherwise,
+    #: which keeps the unsampled payload byte-identical to earlier builds.
+    resource: Optional[Dict[str, object]] = None
 
     @property
     def num_iterations(self) -> int:
@@ -117,7 +121,7 @@ class SaturationProfile:
         ]
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data = {
             "stop_reason": self.stop_reason,
             "total_time": self.total_time,
             "scheduler": self.scheduler,
@@ -134,6 +138,9 @@ class SaturationProfile:
             "iterations": [it.to_dict() for it in self.iterations],
             "rules": {name: rule.to_dict() for name, rule in self.rules.items()},
         }
+        if self.resource is not None:
+            data["resource"] = self.resource
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SaturationProfile":
@@ -148,4 +155,5 @@ class SaturationProfile:
             scheduler=str(data.get("scheduler", "simple")),
             indexed=bool(data.get("indexed", False)),
             dedup=bool(data.get("dedup", False)),
+            resource=data.get("resource"),
         )

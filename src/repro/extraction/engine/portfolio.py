@@ -34,6 +34,7 @@ from repro.extraction.engine.chains import ChainSpec, ChainState, adopt_solution
 from repro.extraction.engine.delta import EVALUATORS
 from repro.extraction.engine.problem import FrozenProblem, ProblemStats
 from repro.extraction.engine.telemetry import ExtractionProfile, MigrationEvent
+from repro.obs import resource as obs_resource
 from repro.obs import trace as obs
 from repro.obs.metrics import registry as obs_registry
 
@@ -114,12 +115,14 @@ class PortfolioResult:
 
 _WORKER_PROBLEM: Optional[FrozenProblem] = None
 _WORKER_TRACED: bool = False
+_WORKER_SAMPLED: bool = False
 
 
-def _init_worker(problem: FrozenProblem, traced: bool = False) -> None:
-    global _WORKER_PROBLEM, _WORKER_TRACED
+def _init_worker(problem: FrozenProblem, traced: bool = False, sampled: bool = False) -> None:
+    global _WORKER_PROBLEM, _WORKER_TRACED, _WORKER_SAMPLED
     _WORKER_PROBLEM = problem
     _WORKER_TRACED = traced
+    _WORKER_SAMPLED = sampled
     # Same isolation rule as the fresh local tracer: a forked worker starts
     # from an empty metrics registry, never the inherited parent copy.  The
     # portfolio publishes its counters parent-side after the rounds, so the
@@ -131,20 +134,32 @@ def _init_worker(problem: FrozenProblem, traced: bool = False) -> None:
 
 
 def _worker_round(state: ChainState, moves: int):
-    """Run one round in a pool worker; returns ``(state, span_buffer)``.
+    """Run one round in a pool worker; returns ``(state, span_buffer,
+    resource_buffer)``.
 
     When the parent had a tracer installed at pool creation, the worker
     records the round's spans into a local tracer and ships the exported
     buffer back with the state — the parent grafts it into its trace at the
-    migration barrier (the buffer is None when tracing is off, so the
-    common path pays nothing extra).
+    migration barrier.  A parent-side resource sampler likewise makes the
+    worker ship a chain-stamped RSS watermark sample.  Both buffers are None
+    when their observer is off, so the common path pays nothing extra.
     """
     assert _WORKER_PROBLEM is not None
-    if not _WORKER_TRACED:
-        return run_round(_WORKER_PROBLEM, state, moves), None
-    with obs.tracing() as tracer:
+    if not _WORKER_TRACED and not _WORKER_SAMPLED:
+        return run_round(_WORKER_PROBLEM, state, moves), None, None
+    trace_cm = obs.tracing() if _WORKER_TRACED else None
+    tracer = trace_cm.__enter__() if trace_cm is not None else None
+    try:
         state = run_round(_WORKER_PROBLEM, state, moves)
-    return state, tracer.export()
+    finally:
+        if trace_cm is not None:
+            trace_cm.__exit__(None, None, None)
+    res_buffer = None
+    if _WORKER_SAMPLED:
+        sampler = obs_resource.ResourceSampler()
+        sampler.note("portfolio round", chain=state.profile.chain_id)
+        res_buffer = sampler.export()
+    return state, tracer.export() if tracer is not None else None, res_buffer
 
 
 # -- the portfolio loop -------------------------------------------------------
@@ -208,12 +223,15 @@ def portfolio_extract(
         # to be merged (pid-tagged records, chain args) at the barrier below.
         pool = (
             ProcessPoolExecutor(
-                workers, initializer=_init_worker, initargs=(problem, obs.tracing_enabled())
+                workers,
+                initializer=_init_worker,
+                initargs=(problem, obs.tracing_enabled(), obs_resource.sampling_enabled()),
             )
             if workers > 1
             else None
         )
         tracer = obs.current_tracer()
+        sampler = obs_resource.current_sampler()
 
         round_index = 0
         try:
@@ -229,12 +247,22 @@ def portfolio_extract(
                             (i, pool.submit(_worker_round, states[i], moves)) for i, moves in batch
                         ]
                         for i, future in futures:
-                            states[i], buffer = future.result()
+                            states[i], buffer, res_buffer = future.result()
                             if buffer and tracer is not None:
                                 tracer.merge(buffer)
+                            if res_buffer and sampler is not None:
+                                # Samples are chain-stamped worker-side; add
+                                # the barrier's round index here.
+                                sampler.merge(res_buffer, round=round_index)
                     else:
                         for i, moves in batch:
                             states[i] = run_round(problem, states[i], moves)
+                            if sampler is not None:
+                                sampler.note(
+                                    "portfolio round",
+                                    chain=states[i].profile.chain_id,
+                                    round=round_index,
+                                )
                     for i, moves in batch:
                         remaining[i] -= moves
                     round_index += 1

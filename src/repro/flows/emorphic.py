@@ -143,6 +143,10 @@ class EmorphicResult:
     extraction_profile: Optional[object] = None
     #: Rule-level QoR attribution when a provenance recorder was installed.
     attribution: Optional[object] = None
+    #: Flow-level resource telemetry when a resource sampler was installed;
+    #: absent from ``to_dict`` otherwise (sampler-off payloads stay
+    #: byte-identical to earlier builds).
+    resource: Optional[Dict[str, object]] = None
 
     def runtime_breakdown(self) -> Dict[str, float]:
         """The three components plotted in Fig. 9."""
@@ -150,7 +154,7 @@ class EmorphicResult:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable QoR summary (the AIG itself is stored as AIGER text)."""
-        return {
+        data: Dict[str, object] = {
             "flow": "emorphic",
             "area": self.area,
             "delay": self.delay,
@@ -166,6 +170,9 @@ class EmorphicResult:
             "extraction": None if self.extraction_profile is None else self.extraction_profile.to_dict(),
             "attribution": None if self.attribution is None else self.attribution.to_dict(),
         }
+        if self.resource is not None:
+            data["resource"] = self.resource
+        return data
 
 
 def breakdown_from_phases(phases: Dict[str, float]) -> Dict[str, float]:
@@ -297,4 +304,5 @@ def run_emorphic_flow(
         pass_runtimes=ctx.pass_runtimes(),
         extraction_profile=ctx.extraction_profile,
         attribution=ctx.attribution,
+        resource=ctx.resource_profile,
     )

@@ -17,7 +17,12 @@ One span/metrics substrate for every subsystem:
 * **logging** (:mod:`repro.obs.log`) — the structured ``repro.obs.log``
   stdlib logger (console or JSON-lines formatting);
 * **progress** (:mod:`repro.obs.progress`) — live rendering of orchestrate
-  campaign events (``emorphic batch --progress``).
+  campaign events (``emorphic batch --progress``);
+* **resource** (:mod:`repro.obs.resource`) — a gated sampler of peak RSS
+  and per-iteration e-graph growth curves, cross-process like the tracer;
+* **ledger** (:mod:`repro.obs.ledger`) — a persistent append-only run
+  ledger with rolling-baseline regression checks (``emorphic history``),
+  rendered as static HTML by :mod:`repro.obs.report` (``emorphic report``).
 
 Engine profiles (``SaturationProfile``, ``ExtractionProfile``) are populated
 *from* spans, so one instrumentation layer feeds the JSON payloads, the
@@ -34,6 +39,15 @@ from repro.obs.export import (
     write_derivation_dot,
     write_derivation_json,
     write_folded_stacks,
+)
+from repro.obs.ledger import (
+    RunLedger,
+    check_records,
+    compare_group,
+    default_ledger_path,
+    flow_record,
+    group_records,
+    log_record,
 )
 from repro.obs.log import JsonFormatter, configure_logging, ensure_configured, get_logger
 from repro.obs.metrics import (
@@ -56,6 +70,17 @@ from repro.obs.provenance import (
     recording_enabled,
     uninstall_recorder,
 )
+from repro.obs.report import render_history_html, write_history_html
+from repro.obs.resource import (
+    ResourceSample,
+    ResourceSampler,
+    aggregate_samples,
+    current_sampler,
+    install_sampler,
+    sampling,
+    sampling_enabled,
+    uninstall_sampler,
+)
 from repro.obs.trace import (
     Span,
     SpanRecord,
@@ -76,25 +101,40 @@ __all__ = [
     "JsonFormatter",
     "MetricsRegistry",
     "ProvenanceLog",
+    "ResourceSample",
+    "ResourceSampler",
     "RuleAttribution",
     "RuleYield",
+    "RunLedger",
     "Span",
     "SpanRecord",
     "Tracer",
+    "aggregate_samples",
     "attribute_extraction",
+    "check_records",
+    "compare_group",
     "configure_logging",
     "current_recorder",
+    "current_sampler",
     "current_tracer",
+    "default_ledger_path",
     "ensure_configured",
+    "flow_record",
     "get_logger",
+    "group_records",
     "install_recorder",
+    "install_sampler",
     "install_tracer",
     "instant",
+    "log_record",
     "prometheus_text",
     "recording",
     "recording_enabled",
     "registry",
+    "render_history_html",
     "reset_registry",
+    "sampling",
+    "sampling_enabled",
     "span",
     "span_summary",
     "to_chrome_trace",
@@ -104,9 +144,11 @@ __all__ = [
     "tracing",
     "tracing_enabled",
     "uninstall_recorder",
+    "uninstall_sampler",
     "uninstall_tracer",
     "write_chrome_trace",
     "write_derivation_dot",
     "write_derivation_json",
     "write_folded_stacks",
+    "write_history_html",
 ]

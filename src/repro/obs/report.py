@@ -1,0 +1,195 @@
+"""Static HTML rendering of the run ledger (``emorphic report``).
+
+Dependency-free by construction: trend sparklines and growth curves are
+inline SVG polylines, the pass-runtime waterfall is plain CSS bars, and the
+whole report is one self-contained file suitable for a CI artifact.  The
+input is the same record list ``emorphic history`` consumes, so the two
+surfaces can never disagree about what happened.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.ledger import QOR_METRICS, compare_group, group_records
+
+__all__ = ["render_history_html", "write_history_html"]
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em auto; max-width: 60em;
+       color: #1c2733; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; border-bottom: 1px solid #d8dee4;
+     padding-bottom: 0.2em; }
+table { border-collapse: collapse; margin: 0.6em 0; font-size: 0.85em; }
+th, td { border: 1px solid #d8dee4; padding: 0.25em 0.6em; text-align: right; }
+th { background: #f2f5f8; } td.name { text-align: left; font-family: monospace; }
+.spark { vertical-align: middle; } .regressed { color: #b32424; font-weight: 600; }
+.improved { color: #1a7a36; }
+.bar { background: #4c8dbf; height: 0.9em; display: inline-block; }
+.barlabel { font-size: 0.8em; font-family: monospace; }
+.meta { color: #5b6a79; font-size: 0.85em; }
+"""
+
+
+def _sparkline(values: List[float], width: int = 120, height: int = 28) -> str:
+    """An inline SVG polyline over ``values`` (flat line when degenerate)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    n = len(values)
+    step = width / max(n - 1, 1)
+    points = " ".join(
+        f"{i * step:.1f},{height - 3 - (v - lo) / span * (height - 6):.1f}"
+        for i, v in enumerate(values)
+    )
+    last_y = height - 3 - (values[-1] - lo) / span * (height - 6)
+    return (
+        f'<svg class="spark" width="{width}" height="{height}">'
+        f'<polyline points="{points}" fill="none" stroke="#4c8dbf" stroke-width="1.5"/>'
+        f'<circle cx="{(n - 1) * step:.1f}" cy="{last_y:.1f}" r="2.5" fill="#b35c24"/>'
+        "</svg>"
+    )
+
+
+def _ratio_cell(ratio: Optional[float]) -> str:
+    if ratio is None:
+        return "<td>-</td>"
+    cls = "regressed" if ratio > 1.02 else ("improved" if ratio < 0.98 else "")
+    return f'<td class="{cls}">{ratio:.3f}x</td>'
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _waterfall(pass_runtimes: List[List[object]]) -> str:
+    """Pass-runtime waterfall: one CSS bar per pass, scaled to the longest."""
+    rows = [(str(name), float(t)) for name, t in pass_runtimes]
+    longest = max((t for _, t in rows), default=0.0) or 1.0
+    out = ["<table>", "<tr><th>pass</th><th>runtime</th><th></th></tr>"]
+    for name, t in rows:
+        width = max(1, int(t / longest * 240))
+        out.append(
+            f'<tr><td class="name">{html.escape(name)}</td><td>{t:.4f}s</td>'
+            f'<td style="text-align:left"><span class="bar" style="width:{width}px"></span></td></tr>'
+        )
+    out.append("</table>")
+    return "\n".join(out)
+
+
+def _growth_curves(resource: Dict[str, object]) -> str:
+    """SVG growth curves (nodes per iteration) from a resource payload.
+
+    Accepts both shapes the ledger stores: a single sample (``curve`` key)
+    and a flow-level aggregate (``curves`` list of tagged samples).
+    """
+    curves: List[Dict[str, object]] = []
+    if resource.get("curve"):
+        curves = [{"label": resource.get("label", ""), "extra": {}, "curve": resource["curve"]}]
+    elif resource.get("curves"):
+        curves = list(resource["curves"])
+    if not curves:
+        return ""
+    out = ["<table>", "<tr><th>scope</th><th>iters</th><th>final nodes</th><th>growth</th></tr>"]
+    for entry in curves:
+        points = list(entry.get("curve") or [])
+        if not points:
+            continue
+        nodes = [float(p.get("nodes", 0)) for p in points]
+        tags = " ".join(f"{k}={v}" for k, v in sorted((entry.get("extra") or {}).items()))
+        label = html.escape(" ".join(filter(None, [str(entry.get("label", "")), tags])))
+        out.append(
+            f'<tr><td class="name">{label}</td><td>{len(points)}</td>'
+            f"<td>{int(nodes[-1])}</td><td>{_sparkline(nodes)}</td></tr>"
+        )
+    out.append("</table>")
+    return "\n".join(out)
+
+
+def _rule_yield(attribution: Dict[str, object], top: int = 12) -> str:
+    rules = attribution.get("rules") or {}
+    if not rules:
+        return ""
+    ranked = sorted(rules.items(), key=lambda kv: (-int(kv[1]), kv[0]))[:top]
+    out = ["<table>", "<tr><th>rule</th><th>surviving ands</th></tr>"]
+    for name, ands in ranked:
+        out.append(f'<tr><td class="name">{html.escape(str(name))}</td><td>{int(ands)}</td></tr>')
+    out.append("</table>")
+    return "\n".join(out)
+
+
+def render_history_html(records: List[Dict[str, object]], window: int = 5) -> str:
+    """The full report: one section per (circuit, script, config) group."""
+    groups = group_records(records)
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        "<title>emorphic run history</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        "<h1>emorphic run history</h1>",
+        f'<p class="meta">{len(records)} records · {len(groups)} groups · '
+        f"baseline = median of previous {window} runs</p>",
+    ]
+    if not records:
+        parts.append("<p>The ledger is empty.</p>")
+    for (circuit, script, cfg), history in sorted(groups.items()):
+        latest = history[-1]
+        comparison = compare_group(history, window=window)
+        title = html.escape(f"{circuit or '?'} · {script or '?'}")
+        parts.append(f"<h2>{title}</h2>")
+        parts.append(
+            f'<p class="meta">kind={html.escape(str(latest.get("kind")))} · '
+            f"config @{html.escape(cfg[:12])} · {len(history)} runs</p>"
+        )
+        parts.append("<table><tr><th>metric</th><th>latest</th><th>baseline</th>"
+                     "<th>ratio</th><th>trend</th></tr>")
+        for metric in QOR_METRICS + ("runtime",):
+            cell = comparison[metric]
+            values = [
+                v
+                for v in (
+                    (r.get("qor") or {}).get(metric) if metric != "runtime" else r.get("runtime")
+                    for r in history
+                )
+                if v is not None
+            ]
+            if cell["latest"] is None and not values:
+                continue
+            parts.append(
+                f'<tr><td class="name">{metric}</td><td>{_fmt(cell["latest"])}</td>'
+                f'<td>{_fmt(cell["baseline"])}</td>{_ratio_cell(cell["ratio"])}'
+                f"<td>{_sparkline([float(v) for v in values])}</td></tr>"
+            )
+        parts.append("</table>")
+        if latest.get("pass_runtimes"):
+            parts.append("<h3>pass runtimes (latest run)</h3>")
+            parts.append(_waterfall(latest["pass_runtimes"]))
+        if latest.get("resource"):
+            growth = _growth_curves(latest["resource"])
+            if growth:
+                parts.append("<h3>e-graph growth (latest run)</h3>")
+                parts.append(growth)
+            peak = (latest["resource"] or {}).get("peak_rss_bytes")
+            if peak:
+                parts.append(
+                    f'<p class="meta">peak RSS: {int(peak) / (1024 * 1024):.1f} MiB</p>'
+                )
+        if latest.get("attribution"):
+            table = _rule_yield(latest["attribution"])
+            if table:
+                parts.append("<h3>rule yield (latest run)</h3>")
+                parts.append(table)
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_history_html(
+    path: Union[str, Path], records: List[Dict[str, object]], window: int = 5
+) -> None:
+    Path(path).write_text(render_history_html(records, window=window))

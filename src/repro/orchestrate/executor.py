@@ -19,7 +19,8 @@ run their jobs under a local tracer and ship the span buffer back inside the
 job record; the parent grafts it into its trace as each job completes (and
 strips it before the record hits the store).  A provenance recorder
 (``repro.obs.provenance``) rides the same channel under
-``record["provenance"]``, and pool workers always run from a fresh metrics
+``record["provenance"]``, a resource sampler (``repro.obs.resource``) under
+``record["resource"]``, and pool workers always run from a fresh metrics
 registry, shipping their counters back under ``record["metrics"]`` for the
 parent to merge — so campaign-level counter totals match a serial run.
 """
@@ -35,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import provenance as obs_provenance
+from repro.obs import resource as obs_resource
 from repro.obs import trace as obs
 from repro.obs.log import ensure_configured, get_logger
 from repro.orchestrate.jobs import JobSpec, run_job
@@ -154,6 +156,7 @@ def run_campaign(
     emit_event: EventFn = on_event if callable(on_event) else (lambda event: None)
     tracer = obs.current_tracer()
     recorder = obs_provenance.current_recorder()
+    sampler = obs_resource.current_sampler()
 
     start = time.perf_counter()
     keyed = [(spec, spec.job_hash()) for spec in jobs]
@@ -200,6 +203,7 @@ def run_campaign(
                     emit_event,
                     tracer,
                     recorder,
+                    sampler,
                 )
             except (OSError, PermissionError) as exc:
                 # Platforms that refuse to spawn processes fall back to serial.
@@ -246,12 +250,12 @@ def _finish(
     )
 
 
-def _merge_job_obs(record, tracer, recorder=None) -> None:
+def _merge_job_obs(record, tracer, recorder=None, sampler=None) -> None:
     """Graft a worker job's observability buffers into the parent (and drop
     them from the record so stored results stay buffer-free): span buffer
-    into the tracer, provenance buffer into the recorder, and counter buffer
+    into the tracer, provenance buffer into the recorder, counter buffer
     into the process registry (counters sum, so campaign totals match a
-    serial run)."""
+    serial run), and resource samples into the sampler."""
     if not isinstance(record, dict):
         return
     buffer = record.pop("trace", None)
@@ -263,6 +267,9 @@ def _merge_job_obs(record, tracer, recorder=None) -> None:
     metrics_buffer = record.pop("metrics", None)
     if metrics_buffer:
         obs_metrics.registry().merge(metrics_buffer)
+    resource_buffer = record.pop("resource", None)
+    if resource_buffer and sampler is not None:
+        sampler.merge(resource_buffer)
 
 
 def _run_serial(keyed, pending, store, outcomes, total, emit, emit_event) -> None:
@@ -300,6 +307,7 @@ def _run_pool(
     emit_event,
     tracer=None,
     recorder=None,
+    sampler=None,
 ) -> None:
     # Jobs are submitted in a sliding window of at most one per free worker,
     # so a future's submission time is (within scheduler noise) its start
@@ -318,7 +326,13 @@ def _run_pool(
             index = queue.pop(0)
             spec, key = keyed[index]
             future = pool.submit(
-                run_job, spec, key, tracer is not None, recorder is not None, True
+                run_job,
+                spec,
+                key,
+                tracer is not None,
+                recorder is not None,
+                True,
+                sampler is not None,
             )
             futures[future] = index
             submitted[future] = time.perf_counter()
@@ -362,7 +376,7 @@ def _run_pool(
                 exc = future.exception()
                 if exc is None:
                     record = future.result()
-                    _merge_job_obs(record, tracer, recorder)
+                    _merge_job_obs(record, tracer, recorder, sampler)
                     outcome = JobOutcome(
                         spec=spec, key=key, status="completed", record=record, elapsed=elapsed
                     )

@@ -48,7 +48,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
 #: 6: flow results embed the RuleAttribution under "attribution" when a
 #:    provenance recorder is installed (``emorphic explain`` / ``--provenance``),
 #:    and PartitionProfile payloads carry per-window/aggregated attribution.
-SCHEMA_VERSION = 6
+#: 7: flow results embed resource telemetry (peak RSS, e-graph growth curves)
+#:    under "resource" when a resource sampler is installed
+#:    (``--sample-resources``), and SaturationProfile payloads carry a
+#:    per-run sample.
+SCHEMA_VERSION = 7
 
 FLOWS = ("baseline", "emorphic", "pipeline")
 
@@ -241,6 +245,7 @@ def run_job(
     traced: bool = False,
     provenance: bool = False,
     ship_metrics: bool = False,
+    sample_resources: bool = False,
 ) -> Dict[str, object]:
     """Execute one job and return its store record (runs inside workers).
 
@@ -252,25 +257,32 @@ def run_job(
     does the same with a job-local provenance recorder under
     ``record["provenance"]`` (and makes the result embed its attribution);
     ``ship_metrics=True`` resets the worker registry before the job and ships
-    its counters under ``record["metrics"]``.  The executor merges and strips
-    all three before the record is stored.
+    its counters under ``record["metrics"]``; ``sample_resources=True``
+    installs a job-local resource sampler and ships its sample buffer under
+    ``record["resource"]``.  The executor merges and strips all four before
+    the record is stored.
     """
-    if traced or provenance or ship_metrics:
+    if traced or provenance or ship_metrics or sample_resources:
         # Install *fresh* job-local observers: forked pool workers inherit
         # the parent's tracer/recorder/registry objects, but state appended
         # to those copies is never seen by the parent — the exported buffers
         # are the only channel back.
         from repro.obs import metrics as obs_metrics
         from repro.obs import provenance as obs_provenance
+        from repro.obs import resource as obs_resource
 
         registry = obs_metrics.reset_registry() if ship_metrics else None
         trace_cm = obs.tracing() if traced else None
         prov_cm = obs_provenance.recording() if provenance else None
+        res_cm = obs_resource.sampling() if sample_resources else None
         tracer = trace_cm.__enter__() if trace_cm is not None else None
         recorder = prov_cm.__enter__() if prov_cm is not None else None
+        sampler = res_cm.__enter__() if res_cm is not None else None
         try:
             record = run_job(spec, key)
         finally:
+            if res_cm is not None:
+                res_cm.__exit__(None, None, None)
             if prov_cm is not None:
                 prov_cm.__exit__(None, None, None)
             if trace_cm is not None:
@@ -281,6 +293,8 @@ def run_job(
             record["provenance"] = recorder.export()
         if registry is not None:
             record["metrics"] = registry.export()
+        if sampler is not None:
+            record["resource"] = sampler.export()
         return record
     aig = spec.circuit.build()
     # Wall-clock timestamp of the record (when the run happened); durations

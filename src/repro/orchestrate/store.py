@@ -20,6 +20,7 @@ from typing import Dict, Iterator, List, Optional, Union
 
 from repro.aig.graph import Aig
 from repro.aig.io_aiger import aag_from_string
+from repro.obs import metrics as obs_metrics
 from repro.orchestrate.jobs import SCHEMA_VERSION
 
 
@@ -46,8 +47,10 @@ class ResultStore:
     def __contains__(self, key: str) -> bool:
         return self._file(key).exists()
 
-    def get(self, key: str) -> Optional[Dict[str, object]]:
-        """The record for ``key``, or None if absent or unreadable/stale."""
+    def _read(self, key: str) -> Optional[Dict[str, object]]:
+        """Uncounted read: the record for ``key``, or None if absent or
+        unreadable/stale.  Maintenance walks (``records``/``stats``) use this
+        directly so they do not inflate the lookup counters."""
         path = self._file(key)
         if not path.exists():
             return None
@@ -57,6 +60,23 @@ class ResultStore:
             return None
         if record.get("schema") != SCHEMA_VERSION:
             return None
+        return record
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The record for ``key``, or None if absent or unreadable/stale.
+
+        Every lookup publishes to the ``store_hits_total`` /
+        ``store_misses_total`` counters (surfaced by ``emorphic cache stats``).
+        """
+        record = self._read(key)
+        if record is None:
+            obs_metrics.registry().counter(
+                "store_misses_total", "result-store lookups that missed"
+            ).inc()
+        else:
+            obs_metrics.registry().counter(
+                "store_hits_total", "result-store lookups served from cache"
+            ).inc()
         return record
 
     def put(self, key: str, record: Dict[str, object]) -> None:
@@ -78,7 +98,7 @@ class ResultStore:
 
     def records(self) -> Iterator[Dict[str, object]]:
         for key in self.keys():
-            record = self.get(key)
+            record = self._read(key)
             if record is not None:
                 yield record
 
@@ -110,7 +130,7 @@ class ResultStore:
         count = 0
         for path in self.root.glob("*.json"):
             total_bytes += path.stat().st_size
-            record = self.get(path.stem)
+            record = self._read(path.stem)
             if record is None:
                 continue
             count += 1

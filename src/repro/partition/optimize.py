@@ -15,11 +15,12 @@ run fail-soft and sound:
 
 Parallelism follows the extraction portfolio's idiom: windows ship to a
 ``ProcessPoolExecutor`` whose initializer pins whether the parent traces and
-records provenance (and resets the forked metrics registry); workers record
-spans/provenance into worker-local tracers/recorders and publish counters
-into a per-task registry, returning all three exported buffers with each
-result, and the parent merges them **in window-index order** at the barrier
-(pid-tagged, stamped with the window index; counters sum).  Results
+records provenance or samples resources (and resets the forked metrics
+registry); workers record spans/provenance/resource samples into
+worker-local observers and publish counters into a per-task registry,
+returning all four exported buffers with each result, and the parent merges
+them **in window-index order** at the barrier (pid-tagged, stamped with the
+window index; counters sum).  Results
 are a pure function of ``(aig, configs)``: ``workers=0`` (inline) and any
 pool size produce identical stitched circuits, reports, and profiles modulo
 wall-clock fields.
@@ -34,6 +35,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -48,6 +50,7 @@ from repro.extraction.engine import PortfolioConfig, portfolio_extract
 from repro.extraction.greedy import greedy_extract
 from repro.obs import metrics as obs_metrics
 from repro.obs import provenance as obs_provenance
+from repro.obs import resource as obs_resource
 from repro.obs import trace as obs
 from repro.partition.telemetry import PartitionProfile, WindowReport
 from repro.partition.windows import Window, partition_aig
@@ -141,6 +144,7 @@ def optimize_window(index: int, sub: Aig, cfg: WindowOptConfig) -> Tuple[WindowR
     )
     start = time.perf_counter()
     plog = None
+    wsampler = None
     span = obs.span("window", category="partition.window", window=index, ands=sub.num_ands)
     try:
         with span:
@@ -158,13 +162,23 @@ def optimize_window(index: int, sub: Aig, cfg: WindowOptConfig) -> Tuple[WindowR
                 use_index=cfg.index,
                 dedup_matches=cfg.dedup,
             )
-            if obs_provenance.recording_enabled():
-                # One scoped log per window: each window is its own e-graph
-                # id space, so a shared log would mis-resolve class ids.
-                with obs_provenance.recording() as plog:
-                    sat_profile = engine.run()
-            else:
+            with ExitStack() as stack:
+                if obs_provenance.recording_enabled():
+                    # One scoped log per window: each window is its own
+                    # e-graph id space, so a shared log would mis-resolve
+                    # class ids.
+                    plog = stack.enter_context(obs_provenance.recording())
+                if obs_resource.sampling_enabled():
+                    # Same per-window scoping for resource samples, so the
+                    # merge below can stamp the window index on each one.
+                    wsampler = stack.enter_context(obs_resource.sampling())
                 sat_profile = engine.run()
+            if sat_profile.resource is not None:
+                report.resource = dict(sat_profile.resource)
+                report.resource["extra"] = {
+                    **report.resource.get("extra", {}),
+                    "window": index,
+                }
             report.saturation_stop = sat_profile.stop_reason
             report.saturation_iterations = sat_profile.num_iterations
             report.egraph_nodes = sat_profile.final_nodes
@@ -222,6 +236,9 @@ def optimize_window(index: int, sub: Aig, cfg: WindowOptConfig) -> Tuple[WindowR
         # Graft the window's log into the enclosing recorder (the pipeline's,
         # or the worker-local one a pool worker ships back) window-stamped.
         outer.merge(plog.export(), window=index)
+    outer_sampler = obs_resource.current_sampler()
+    if wsampler is not None and outer_sampler is not None:
+        outer_sampler.merge(wsampler.export(), window=index)
     report.wall_time = time.perf_counter() - start
     return report, optimized
 
@@ -230,12 +247,14 @@ def optimize_window(index: int, sub: Aig, cfg: WindowOptConfig) -> Tuple[WindowR
 
 _WORKER_TRACED: bool = False
 _WORKER_PROVENANCE: bool = False
+_WORKER_SAMPLED: bool = False
 
 
-def _init_worker(traced: bool = False, provenance: bool = False) -> None:
-    global _WORKER_TRACED, _WORKER_PROVENANCE
+def _init_worker(traced: bool = False, provenance: bool = False, sampled: bool = False) -> None:
+    global _WORKER_TRACED, _WORKER_PROVENANCE, _WORKER_SAMPLED
     _WORKER_TRACED = traced
     _WORKER_PROVENANCE = provenance
+    _WORKER_SAMPLED = sampled
     # Forked workers inherit a copy of the parent's metrics registry; like the
     # fresh-local-tracer rule, they must never publish into it (counters are
     # shipped back per task and merged at the barrier instead).
@@ -244,20 +263,26 @@ def _init_worker(traced: bool = False, provenance: bool = False) -> None:
 
 def _worker_optimize(
     index: int, sub: Aig, cfg: WindowOptConfig
-) -> Tuple[WindowReport, Optional[Aig], Optional[list], Optional[dict], Optional[list]]:
+) -> Tuple[
+    WindowReport, Optional[Aig], Optional[list], Optional[dict], Optional[list], Optional[list]
+]:
     """Pool entry point: optimize one window, shipping the trace span,
-    provenance, and metrics buffers back with the result."""
+    provenance, metrics, and resource buffers back with the result."""
     # Fresh registry per task, not just per worker: pool processes are reused
     # across windows, and shipping a cumulative registry every task would
     # double-count earlier windows at the merge.
     registry = obs_metrics.reset_registry()
     trace_cm = obs.tracing() if _WORKER_TRACED else None
     prov_cm = obs_provenance.recording() if _WORKER_PROVENANCE else None
+    res_cm = obs_resource.sampling() if _WORKER_SAMPLED else None
     tracer = trace_cm.__enter__() if trace_cm is not None else None
     recorder = prov_cm.__enter__() if prov_cm is not None else None
+    sampler = res_cm.__enter__() if res_cm is not None else None
     try:
         report, optimized = optimize_window(index, sub, cfg)
     finally:
+        if res_cm is not None:
+            res_cm.__exit__(None, None, None)
         if prov_cm is not None:
             prov_cm.__exit__(None, None, None)
         if trace_cm is not None:
@@ -268,6 +293,7 @@ def _worker_optimize(
         (tracer.export() or None) if tracer is not None else None,
         recorder.export() if recorder is not None and recorder.nodes else None,
         registry.export() or None,
+        sampler.export() or None if sampler is not None else None,
     )
 
 
@@ -313,21 +339,28 @@ def partitioned_optimize(
     optimized: List[Optional[Aig]] = [None] * len(windows)
     tracer = obs.current_tracer()
     recorder = obs_provenance.current_recorder()
+    sampler = obs_resource.current_sampler()
     with obs.span("optimize windows", category="partition", windows=len(windows)):
         if partition.workers > 0 and len(windows) > 1:
             with ProcessPoolExecutor(
                 partition.workers,
                 initializer=_init_worker,
-                initargs=(obs.tracing_enabled(), obs_provenance.recording_enabled()),
+                initargs=(
+                    obs.tracing_enabled(),
+                    obs_provenance.recording_enabled(),
+                    obs_resource.sampling_enabled(),
+                ),
             ) as pool:
                 futures = [
                     pool.submit(_worker_optimize, w.index, w.aig, window_cfg) for w in windows
                 ]
-                # Collect (and merge trace/provenance/metrics buffers) in
-                # window-index order so observability output is deterministic
-                # regardless of completion order.
+                # Collect (and merge trace/provenance/metrics/resource
+                # buffers) in window-index order so observability output is
+                # deterministic regardless of completion order.
                 for w, future in zip(windows, futures):
-                    report, opt, buffer, prov_buffer, metrics_buffer = future.result()
+                    report, opt, buffer, prov_buffer, metrics_buffer, res_buffer = (
+                        future.result()
+                    )
                     reports[w.index] = report
                     optimized[w.index] = opt
                     if buffer and tracer is not None:
@@ -337,6 +370,9 @@ def partitioned_optimize(
                         recorder.merge(prov_buffer)
                     if metrics_buffer:
                         obs_metrics.registry().merge(metrics_buffer)
+                    if res_buffer and sampler is not None:
+                        # Samples are already window-stamped worker-side.
+                        sampler.merge(res_buffer)
         else:
             for w in windows:
                 reports[w.index], optimized[w.index] = optimize_window(w.index, w.aig, window_cfg)
@@ -359,6 +395,11 @@ def partitioned_optimize(
             for r in profile.windows
             if r.attribution is not None and r.accepted
         ).to_dict()
+    window_samples = [r.resource for r in profile.windows if r.resource is not None]
+    if window_samples:
+        # Flow-level aggregate: max RSS across processes, summed growth
+        # events, per-window curves — the adaptive-k telemetry signal.
+        profile.resource = obs_resource.aggregate_samples(window_samples)
     profile.ands_after = stitched.num_ands
     profile.levels_after = logic_depth(stitched)
     if verify:

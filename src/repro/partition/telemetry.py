@@ -44,6 +44,9 @@ class WindowReport:
     #: Per-window :class:`~repro.obs.provenance.RuleAttribution` payload; only
     #: set when a provenance recorder was installed during the run.
     attribution: Optional[Dict[str, object]] = None
+    #: Per-window :class:`~repro.obs.resource.ResourceSample` payload (growth
+    #: curve + RSS watermark); only set when a resource sampler was installed.
+    resource: Optional[Dict[str, object]] = None
 
     @property
     def accepted(self) -> bool:
@@ -79,6 +82,9 @@ class PartitionProfile:
     #: Aggregated rule attribution over the *accepted* windows (the e-nodes
     #: that survived into the stitched circuit); provenance runs only.
     rule_attribution: Optional[Dict[str, object]] = None
+    #: Aggregated resource telemetry over all windows (max RSS across
+    #: processes, summed growth events, per-window curves); sampled runs only.
+    resource: Optional[Dict[str, object]] = None
 
     @property
     def accepted_windows(self) -> int:
@@ -123,6 +129,7 @@ class PartitionProfile:
             "wall_time": self.wall_time,
             "final_cec": self.final_cec,
             "rule_attribution": self.rule_attribution,
+            "resource": self.resource,
             "windows": [w.to_dict() for w in self.windows],
         }
 
@@ -144,6 +151,7 @@ class PartitionProfile:
             wall_time=payload.get("wall_time", 0.0),
             final_cec=payload.get("final_cec"),
             rule_attribution=payload.get("rule_attribution"),
+            resource=payload.get("resource"),
         )
         profile.windows = [WindowReport.from_dict(w) for w in payload.get("windows", [])]
         return profile

@@ -74,6 +74,9 @@ class FlowContext:
     #: Rule-level QoR attribution; set by ``extract``/``stitch`` when a
     #: provenance recorder is installed.
     attribution: Optional[object] = None
+    #: Flow-level resource telemetry (peak RSS + growth curves); set by
+    #: ``saturate``/``stitch`` when a resource sampler is installed.
+    resource_profile: Optional[Dict[str, object]] = None
     equivalence: Optional[CecResult] = None
     #: Optional learned cost model consumed by ``extract(use_ml=true)``.
     ml_model: Optional[object] = None

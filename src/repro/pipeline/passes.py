@@ -285,6 +285,10 @@ def _pass_saturate(
         ctx.provenance_log = plog
     else:
         ctx.rewrite_report = engine.run()
+    if ctx.rewrite_report.resource is not None:
+        # Surface the run's resource sample at flow level (a later sampled
+        # saturate in the same flow overwrites — latest run wins).
+        ctx.resource_profile = ctx.rewrite_report.resource
     ctx.metrics["saturation_stop_reason"] = ctx.rewrite_report.stop_reason
     ctx.metrics["saturation_scheduler"] = ctx.rewrite_report.scheduler
     ctx.metrics["saturation_matches"] = ctx.rewrite_report.total_matches
@@ -537,6 +541,8 @@ def _pass_stitch(ctx: FlowContext, verify: bool = True) -> None:
         ctx.attribution = obs_provenance.RuleAttribution.from_dict(
             outcome.profile.rule_attribution
         )
+    if outcome.profile.resource is not None:
+        ctx.resource_profile = outcome.profile.resource
     ctx.metrics["partition_windows"] = outcome.profile.num_windows
     ctx.metrics["partition_accepted"] = outcome.profile.accepted_windows
     ctx.metrics["partition_reverted"] = outcome.profile.reverted_windows

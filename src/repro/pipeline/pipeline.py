@@ -125,6 +125,10 @@ class PipelineResult:
     partition_profile: Optional[object] = None
     #: Rule-level QoR attribution when a provenance recorder was installed.
     attribution: Optional[object] = None
+    #: Flow-level resource telemetry when a resource sampler was installed;
+    #: absent from ``to_dict`` otherwise (sampler-off payloads stay
+    #: byte-identical to earlier builds).
+    resource: Optional[Dict[str, object]] = None
 
     @property
     def levels(self) -> int:
@@ -159,6 +163,8 @@ class PipelineResult:
             data["area"] = self.mapping.area
             data["delay"] = self.mapping.delay
             data["num_gates"] = self.mapping.num_gates
+        if self.resource is not None:
+            data["resource"] = self.resource
         return data
 
 
@@ -294,4 +300,5 @@ class Pipeline:
             extraction_profile=ctx.extraction_profile,
             partition_profile=ctx.partition_profile,
             attribution=ctx.attribution,
+            resource=ctx.resource_profile,
         )
