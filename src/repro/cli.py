@@ -50,6 +50,7 @@ import argparse
 import json
 import sys
 from contextlib import contextmanager
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.aig.graph import Aig
@@ -321,6 +322,13 @@ def _add_emorphic_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--threads", type=int, default=4, help="extraction chains (portfolio) / SA threads (legacy)")
     parser.add_argument("--seed", type=int, default=7, help="base seed of the parallel SA chains")
     parser.add_argument(
+        "--matcher",
+        default="indexed",
+        choices=["scan", "indexed", "batched"],
+        help="e-matching strategy: per-rule full scan, op-indexed per-rule search, "
+        "or the batched shared-prefix trie over columnar storage (identical results)",
+    )
+    parser.add_argument(
         "--extraction-engine",
         default="portfolio",
         choices=["portfolio", "legacy"],
@@ -352,6 +360,7 @@ def _emorphic_config(args: argparse.Namespace) -> EmorphicConfig:
         extraction_cost=args.extraction_cost,
         use_ml_model=args.use_ml_model,
         verify=not args.no_verify,
+        matcher=args.matcher,
     )
     config.baseline.use_choices = not args.no_choices
     if config.use_ml_model:
@@ -559,10 +568,18 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_scripts(_: argparse.Namespace) -> int:
+def cmd_scripts(args: argparse.Namespace) -> int:
     from repro.opt.scripts import available_scripts
     from repro.pipeline import pass_table
 
+    if getattr(args, "docs", False):
+        # The grammar reference ships with the source tree (docs/dsl.md,
+        # two levels above src/repro/cli.py).
+        docs = Path(__file__).resolve().parent.parent.parent / "docs" / "dsl.md"
+        print(docs)
+        if not docs.exists():
+            _LOG.warning("docs/dsl.md not found (installed without the docs tree?)")
+        return 0
     print("registered pipeline passes (emorphic pipeline --script \"...\"):")
     for spec in pass_table():
         aliases = f"  (alias: {', '.join(spec.aliases)})" if spec.aliases else ""
@@ -1164,12 +1181,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_scripts = sub.add_parser(
         "scripts", help="list registered pipeline passes and named optimization scripts"
     )
+    p_scripts.add_argument(
+        "--docs",
+        action="store_true",
+        help="print the path of the pipeline-script grammar reference (docs/dsl.md)",
+    )
     p_scripts.set_defaults(func=cmd_scripts)
 
     p_bench = sub.add_parser(
         "saturate-bench",
-        help="benchmark the saturation engine (legacy vs indexed vs backoff) and "
-        "write BENCH_saturation.json",
+        help="benchmark the saturation engine (legacy vs indexed vs backoff vs batched) "
+        "and write BENCH_saturation.json",
     )
     p_bench.add_argument(
         "--circuits",

@@ -60,7 +60,12 @@ class EGraph:
     newly created e-class and ``on_union(root, other)`` for every merge
     (including the upward merges performed during ``rebuild``), which is enough
     to maintain derived structures incrementally instead of rescanning the
-    graph.  Current clients are the engine's op-index and the provenance
+    graph.  Observers that additionally define ``on_repair(class_id)`` are
+    told whenever congruence repair rewrote a class's node list in place
+    (canonical dedup, first occurrence wins) — the column store mirrors the
+    dedup from that event so its per-class spans track ``EClass.nodes``
+    exactly.  Current clients are the engine's op-index, the engine's column
+    store (:class:`repro.engine.columns.ColumnStore`), and the provenance
     recorder (:class:`repro.obs.provenance.ProvenanceLog`).  One subtlety for
     observers: ``_repair`` re-canonicalizes existing e-nodes in place *without*
     firing ``on_add``, so an observer that keys records by (class id, e-node)
@@ -193,6 +198,10 @@ class EGraph:
             seen.setdefault(node.canonicalize(self.union_find), None)
         self._num_nodes -= len(eclass.nodes) - len(seen)
         eclass.nodes = list(seen.keys())
+        for observer in self.observers:
+            hook = getattr(observer, "on_repair", None)
+            if hook is not None:
+                hook(class_id)
         return merges
 
     # -- queries ----------------------------------------------------------------

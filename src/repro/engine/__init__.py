@@ -6,9 +6,23 @@ deduplication, worklist-driven incremental rebuilds, and full saturation
 telemetry.  ``egraph.runner.Runner``/``saturate`` remain as thin
 compatibility wrappers over :class:`SaturationEngine` with the
 :class:`SimpleScheduler`.
+
+Three e-matching strategies (``MATCHERS``): ``scan`` (legacy full scan per
+rule), ``indexed`` (per-rule search narrowed by :class:`OpIndex`), and
+``batched`` (all rules compiled into one shared-prefix trie walked over
+:class:`ColumnStore` struct-of-arrays storage — one e-graph traversal per
+iteration total).  All three produce identical matches in identical order.
 """
 
-from repro.engine.engine import EngineLimits, SaturationEngine, saturate_engine
+from repro.engine.batched import BatchedMatcher, compile_pattern, priorities_from_attribution
+from repro.engine.columns import ClassView, ColumnStore, op_id, op_name
+from repro.engine.engine import (
+    MATCHERS,
+    EngineLimits,
+    SaturationEngine,
+    resolve_matcher,
+    saturate_engine,
+)
 from repro.engine.index import OpIndex, scratch_index
 from repro.engine.scheduler import (
     SCHEDULERS,
@@ -23,6 +37,15 @@ __all__ = [
     "SaturationEngine",
     "EngineLimits",
     "saturate_engine",
+    "MATCHERS",
+    "resolve_matcher",
+    "BatchedMatcher",
+    "compile_pattern",
+    "priorities_from_attribution",
+    "ColumnStore",
+    "ClassView",
+    "op_id",
+    "op_name",
     "OpIndex",
     "scratch_index",
     "Scheduler",

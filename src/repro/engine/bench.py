@@ -8,12 +8,19 @@ configurations —
 * ``indexed`` — SimpleScheduler + op-index: same results, pruned search;
 * ``engine``  — BackoffScheduler + op-index + match dedup: the default
   saturation configuration;
+* ``batched`` — the ``engine`` configuration under the batched matcher
+  (shared-prefix trie over columnar storage): identical matches, one e-graph
+  walk per iteration;
 
 — then greedy-extracts a circuit from each saturated e-graph and checks it
 for combinational equivalence against the input, so the speedup numbers are
-guarded by correctness.  The payload is what ``emorphic saturate-bench``
-writes to ``BENCH_saturation.json`` (the repo's perf trajectory) and what CI
-compares against the checked-in reference via :func:`check_regressions`.
+guarded by correctness.  Because ``batched`` and ``engine`` are the same
+configuration under different matchers, the payload also records a
+``matcher_parity`` verdict per circuit (equal extraction ANDs and levels),
+and :func:`check_regressions` fails on any parity break.  The payload is
+what ``emorphic saturate-bench`` writes to ``BENCH_saturation.json`` (the
+repo's perf trajectory) and what CI compares against the checked-in
+reference via :func:`check_regressions`.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.aig.levels import logic_depth
 from repro.benchgen import epfl
 from repro.conversion.dag2eg import aig_to_egraph
 from repro.conversion.eg2dag import extraction_to_aig
@@ -47,12 +55,15 @@ class BenchVariant:
     scheduler: str
     use_index: bool
     dedup: bool
+    #: e-matching strategy; "indexed" defers to ``use_index`` (pass contract).
+    matcher: str = "indexed"
 
 
 VARIANTS = (
     BenchVariant("legacy", scheduler="simple", use_index=False, dedup=False),
     BenchVariant("indexed", scheduler="simple", use_index=True, dedup=False),
     BenchVariant("engine", scheduler="backoff", use_index=True, dedup=True),
+    BenchVariant("batched", scheduler="backoff", use_index=True, dedup=True, matcher="batched"),
 )
 
 
@@ -75,11 +86,13 @@ def _bench_one(
             scheduler=variant.scheduler,
             use_index=variant.use_index,
             dedup_matches=variant.dedup,
+            matcher=None if variant.matcher == "indexed" else variant.matcher,
         ).run()
     wall_time = time.perf_counter() - start
     record: Dict[str, object] = {
         "wall_time": wall_time,
         "span_summary": span_summary(tracer),
+        "matcher": profile.matcher,
         "stop_reason": profile.stop_reason,
         "iterations": profile.num_iterations,
         "final_classes": profile.final_classes,
@@ -100,6 +113,7 @@ def _bench_one(
         cec = check_equivalence(aig, extracted, conflict_budget=conflict_budget)
         record["extraction_cec"] = cec.status
         record["extraction_ands"] = extracted.stats()["ands"]
+        record["extraction_levels"] = logic_depth(extracted)
     return record
 
 
@@ -206,6 +220,8 @@ def run_saturation_bench(
         "circuits": {},
     }
     speedups: Dict[str, List[float]] = {v.name: [] for v in VARIANTS if v.name != "legacy"}
+    batched_vs_engine: List[float] = []
+    batched_vs_indexed: List[float] = []
     for name in names:
         aig = epfl.build(name, preset=preset)
         entry: Dict[str, object] = {"stats": aig.stats(), "runs": {}}
@@ -239,12 +255,49 @@ def run_saturation_bench(
             ratio = legacy_wall / wall if wall > 0 else float("inf")
             entry["speedup"][variant.name] = ratio
             speedups[variant.name].append(ratio)
+        # ``batched`` and ``engine`` are the same configuration under
+        # different matchers, so their final e-graphs and extractions must
+        # agree exactly; the speedup between them isolates the matcher.
+        engine_run = entry["runs"]["engine"]
+        batched_run = entry["runs"]["batched"]
+        batched_wall = batched_run["wall_time"]
+        entry["batched_speedup_vs_engine"] = (
+            engine_run["wall_time"] / batched_wall if batched_wall > 0 else float("inf")
+        )
+        batched_vs_engine.append(entry["batched_speedup_vs_engine"])
+        # The headline acceptance number: the batched matcher against the
+        # "indexed" per-pattern variant at the same iteration budget.
+        indexed_wall = entry["runs"]["indexed"]["wall_time"]
+        entry["batched_speedup_vs_indexed"] = (
+            indexed_wall / batched_wall if batched_wall > 0 else float("inf")
+        )
+        batched_vs_indexed.append(entry["batched_speedup_vs_indexed"])
+        parity_fields = [
+            "stop_reason", "iterations", "final_classes", "final_nodes",
+            "total_matches", "total_applications",
+        ]
+        if check_cec:
+            parity_fields += ["extraction_ands", "extraction_levels"]
+        mismatches = [
+            f for f in parity_fields if engine_run.get(f) != batched_run.get(f)
+        ]
+        entry["matcher_parity"] = "equal" if not mismatches else f"diverged: {mismatches}"
         payload["circuits"][name] = entry
     payload["summary"] = {
         "geomean_speedup": {
             variant: math.exp(sum(math.log(r) for r in ratios) / len(ratios)) if ratios else 0.0
             for variant, ratios in speedups.items()
-        }
+        },
+        "geomean_batched_vs_engine": (
+            math.exp(sum(math.log(r) for r in batched_vs_engine) / len(batched_vs_engine))
+            if batched_vs_engine
+            else 0.0
+        ),
+        "geomean_batched_vs_indexed": (
+            math.exp(sum(math.log(r) for r in batched_vs_indexed) / len(batched_vs_indexed))
+            if batched_vs_indexed
+            else 0.0
+        ),
     }
     return payload
 
@@ -280,10 +333,24 @@ def render_bench(payload: Dict[str, object]) -> str:
                 f"({res['overhead_vs_engine']:.2f}x engine, "
                 f"peak RSS {res['peak_rss_bytes'] / (1024 * 1024):.1f} MiB)"
             )
+        ratio = entry.get("batched_speedup_vs_engine")
+        if ratio is not None:
+            vs_indexed = entry.get("batched_speedup_vs_indexed")
+            indexed_text = f", {vs_indexed:.2f}x vs indexed" if vs_indexed else ""
+            lines.append(
+                f"{name:12s} batched matcher: {ratio:.2f}x vs engine{indexed_text}, "
+                f"parity {entry.get('matcher_parity', '-')}"
+            )
     geomeans = payload.get("summary", {}).get("geomean_speedup", {})
     if geomeans:
         rendered = ", ".join(f"{k} {v:.2f}x" for k, v in geomeans.items())
         lines.append(f"geomean speedup vs legacy: {rendered}")
+    batched_geomean = payload.get("summary", {}).get("geomean_batched_vs_engine")
+    if batched_geomean:
+        lines.append(f"geomean batched vs engine: {batched_geomean:.2f}x")
+    indexed_geomean = payload.get("summary", {}).get("geomean_batched_vs_indexed")
+    if indexed_geomean:
+        lines.append(f"geomean batched vs indexed: {indexed_geomean:.2f}x")
     return "\n".join(lines)
 
 
@@ -297,9 +364,15 @@ def check_regressions(
     Returns failure messages for every (circuit, variant) whose wall-clock
     exceeds ``max_ratio`` times the reference — an empty list means no
     regression.  Circuits or variants missing from either side are skipped
-    (the reference may be older than the bench set).
+    (the reference may be older than the bench set).  A circuit whose
+    ``matcher_parity`` verdict diverged (batched run not identical to the
+    per-pattern engine run) always fails, independent of timing.
     """
     failures: List[str] = []
+    for name, cur_entry in payload.get("circuits", {}).items():
+        parity = cur_entry.get("matcher_parity")
+        if parity is not None and parity != "equal":
+            failures.append(f"{name}: batched matcher parity broke ({parity})")
     for name, ref_entry in reference.get("circuits", {}).items():
         cur_entry = payload.get("circuits", {}).get(name)
         if cur_entry is None:

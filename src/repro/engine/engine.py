@@ -42,6 +42,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 from repro.egraph.egraph import EGraph
 from repro.egraph.pattern import Match, instantiate
 from repro.egraph.rewrite import Rewrite
+from repro.engine.batched import BatchedMatcher
+from repro.engine.columns import ColumnStore
 from repro.engine.index import OpIndex
 from repro.engine.scheduler import Scheduler, make_scheduler
 from repro.engine.telemetry import IterationReport, RuleProfile, SaturationProfile
@@ -65,6 +67,24 @@ class EngineLimits:
 #: Canonical dedup key: (rule name, canonical class, canonical substitution).
 MatchKey = Tuple[str, int, Tuple[Tuple[str, int], ...]]
 
+#: Recognised e-matching strategies.  ``scan`` searches every class per rule
+#: (the legacy runner), ``indexed`` narrows each rule to classes holding its
+#: root operator via the incrementally-maintained :class:`OpIndex`, and
+#: ``batched`` compiles all rule patterns into one shared-prefix trie over
+#: :class:`~repro.engine.columns.ColumnStore` so the e-graph is walked once
+#: per iteration total.  All three produce identical matches in identical
+#: order; they differ only in speed.
+MATCHERS: Tuple[str, ...] = ("scan", "indexed", "batched")
+
+
+def resolve_matcher(matcher: Optional[str], use_index: bool) -> str:
+    """Resolve a matcher name, defaulting from the legacy ``use_index`` flag."""
+    if matcher is None:
+        return "indexed" if use_index else "scan"
+    if matcher not in MATCHERS:
+        raise ValueError(f"unknown matcher {matcher!r}; expected one of {MATCHERS}")
+    return matcher
+
 
 class SaturationEngine:
     """Applies a rule set to an e-graph until a stopping condition is met."""
@@ -77,14 +97,24 @@ class SaturationEngine:
         scheduler: Union[str, Scheduler, None] = None,
         use_index: bool = True,
         dedup_matches: bool = True,
+        matcher: Optional[str] = None,
+        rule_priorities: Optional[Dict[str, float]] = None,
     ) -> None:
         self.egraph = egraph
         self.rules = list(rules)
         self.limits = limits or EngineLimits()
         self.scheduler = make_scheduler(scheduler)
-        self.use_index = use_index
+        self.matcher = resolve_matcher(matcher, use_index)
+        # The batched matcher is index-driven by construction (its trie roots
+        # play the op-index role), so the legacy flag reads True for it.
+        self.use_index = use_index if matcher is None else self.matcher != "scan"
         self.dedup_matches = dedup_matches
+        self.rule_priorities = rule_priorities
         self.profile: Optional[SaturationProfile] = None
+        #: The columnar storage mirror; populated by ``run`` under the batched
+        #: matcher (and left attached so downstream readers — e.g.
+        #: ``FrozenProblem.from_columns`` — stay in lockstep with the e-graph).
+        self.columns: Optional[ColumnStore] = None
         self._seen: Set[MatchKey] = set()
 
     # -- internals -------------------------------------------------------------
@@ -135,11 +165,18 @@ class SaturationEngine:
     # -- the loop --------------------------------------------------------------
 
     def run(self) -> SaturationProfile:
+        """Saturate until a limit trips; returns the run's telemetry profile."""
         limits = self.limits
         scheduler = self.scheduler
         egraph = self.egraph
         self._seen = set()  # dedup is per run: a re-run starts fresh
-        index = OpIndex(egraph) if self.use_index else None
+        batched: Optional[BatchedMatcher] = None
+        if self.matcher == "batched":
+            index = None
+            self.columns = ColumnStore(egraph)
+            batched = BatchedMatcher(self.rules, rule_priorities=self.rule_priorities)
+        else:
+            index = OpIndex(egraph) if self.use_index else None
         # Provenance rides the installed-recorder gate, same as tracing: when
         # no recorder is installed (the common case) nothing below this line
         # touches the apply path.  Attaching seed-tags every existing e-node
@@ -185,7 +222,49 @@ class SaturationEngine:
                         searched: List[Tuple[Rewrite, List[Match]]] = []
                         restricted = False
                         with obs.span("search", category="saturation.phase") as search_span:
-                            for rule in self.rules:
+                            if batched is not None:
+                                # One shared trie walk for every active rule.
+                                # Ban accounting first, so banned rules' trie
+                                # branches are pruned from the walk itself.
+                                active: List[int] = []
+                                for rule_index, rule in enumerate(self.rules):
+                                    stats = rule_stats[rule.name]
+                                    if not scheduler.can_search(iteration, rule.name):
+                                        stats.banned_iterations += 1
+                                        report.banned.append(rule.name)
+                                        restricted = True
+                                    else:
+                                        active.append(rule_index)
+                                with obs.span(
+                                    "batched-match", category="saturation.search"
+                                ) as walk_span:
+                                    per_rule = batched.search(
+                                        self.columns,
+                                        active,
+                                        limit=limits.match_limit_per_rule,
+                                        egraph=egraph,
+                                    )
+                                # The walk is shared, so its cost cannot be
+                                # split honestly per rule: iteration-level
+                                # search_time carries the timing and per-rule
+                                # search_time stays zero under this matcher.
+                                walk_span.set("rules", len(active))
+                                for rule_index in active:
+                                    rule = self.rules[rule_index]
+                                    stats = rule_stats[rule.name]
+                                    matches = per_rule.get(rule_index, [])
+                                    allowed = scheduler.allowed_matches(
+                                        iteration, rule.name, len(matches)
+                                    )
+                                    if allowed < len(matches):
+                                        matches = matches[:allowed]
+                                        stats.times_banned += 1
+                                        restricted = True
+                                    stats.matches_found += len(matches)
+                                    report.matches_found += len(matches)
+                                    searched.append((rule, matches))
+                                search_span.set("matches", report.matches_found)
+                            for rule in self.rules if batched is None else ():
                                 stats = rule_stats[rule.name]
                                 if not scheduler.can_search(iteration, rule.name):
                                     stats.banned_iterations += 1
@@ -285,6 +364,7 @@ class SaturationEngine:
             scheduler=scheduler.name,
             indexed=self.use_index,
             dedup=self.dedup_matches,
+            matcher=self.matcher,
             resource=resource_sample,
         )
         metrics = obs_registry()
@@ -309,6 +389,8 @@ def saturate_engine(
     scheduler: Union[str, Scheduler, None] = None,
     use_index: bool = True,
     dedup_matches: bool = True,
+    matcher: Optional[str] = None,
+    rule_priorities: Optional[Dict[str, float]] = None,
 ) -> SaturationProfile:
     """One-call helper mirroring ``egraph.runner.saturate`` on the engine."""
     return SaturationEngine(
@@ -318,4 +400,6 @@ def saturate_engine(
         scheduler=scheduler,
         use_index=use_index,
         dedup_matches=dedup_matches,
+        matcher=matcher,
+        rule_priorities=rule_priorities,
     ).run()

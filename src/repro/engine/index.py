@@ -49,9 +49,11 @@ class OpIndex:
     # -- EGraph observer protocol ---------------------------------------------
 
     def on_add(self, class_id: int, enode: ENode) -> None:
+        """Index a freshly added e-node under its operator."""
         self._index(class_id, enode.op)
 
     def on_union(self, root: int, other: int) -> None:
+        """Move ``other``'s operator entries onto the surviving ``root``."""
         moved = self.class_ops.pop(other, set())
         for op in moved:
             self.by_op[op].discard(other)
@@ -62,11 +64,13 @@ class OpIndex:
                 self.by_op[op].add(root)
 
     def detach(self) -> None:
+        """Stop observing the e-graph (the index freezes at current state)."""
         self.egraph.detach_observer(self)
 
     # -- queries ---------------------------------------------------------------
 
     def classes_with_op(self, op: str) -> Set[int]:
+        """Canonical class ids containing at least one ``op`` node."""
         return self.by_op.get(op, set())
 
     def candidates(self, root: PatternNode) -> Optional[List[int]]:

@@ -27,6 +27,7 @@ class SimpleScheduler:
     name = "simple"
 
     def can_search(self, iteration: int, rule_name: str) -> bool:
+        """Whether the rule may search this iteration (always yes)."""
         return True
 
     def allowed_matches(self, iteration: int, rule_name: str, found: int) -> int:
@@ -64,9 +65,11 @@ class BackoffScheduler:
         return self.stats.setdefault(rule_name, _BackoffState())
 
     def can_search(self, iteration: int, rule_name: str) -> bool:
+        """Whether the rule's ban window has expired."""
         return iteration >= self._state(rule_name).banned_until
 
     def allowed_matches(self, iteration: int, rule_name: str, found: int) -> int:
+        """Cap ``found`` at the rule's current threshold, banning on overflow."""
         state = self._state(rule_name)
         threshold = self.match_limit << state.times_banned
         if found > threshold:

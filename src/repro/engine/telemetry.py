@@ -30,10 +30,12 @@ class RuleProfile:
     skipped_iterations: int = 0  # iterations skipped after the node budget tripped
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form of this record."""
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "RuleProfile":
+        """Rebuild a profile from its ``to_dict`` payload."""
         return cls(**data)
 
 
@@ -61,10 +63,12 @@ class IterationReport:
     matches_deduped: int = 0
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form of this record."""
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "IterationReport":
+        """Rebuild a report from its ``to_dict`` payload."""
         return cls(**data)
 
 
@@ -79,6 +83,11 @@ class SaturationProfile:
     scheduler: str = "simple"
     indexed: bool = False
     dedup: bool = False
+    #: Which e-matching strategy ran ("scan" | "indexed" | "batched"); see
+    #: ``repro.engine.engine.MATCHERS``.  Under "batched" the shared trie walk
+    #: cannot be split honestly per rule, so per-rule ``search_time`` is zero
+    #: and iteration-level ``search_time`` carries the phase timing.
+    matcher: str = "indexed"
     #: A ``repro.obs.resource.ResourceSample`` payload when a sampler was
     #: installed during the run; None (and absent from ``to_dict``) otherwise,
     #: which keeps the unsampled payload byte-identical to earlier builds.
@@ -86,31 +95,39 @@ class SaturationProfile:
 
     @property
     def num_iterations(self) -> int:
+        """Number of iterations the run completed."""
         return len(self.iterations)
 
     @property
     def final_classes(self) -> int:
+        """E-class count after the last iteration (0 if none ran)."""
         return self.iterations[-1].num_classes if self.iterations else 0
 
     @property
     def final_nodes(self) -> int:
+        """E-node count after the last iteration (0 if none ran)."""
         return self.iterations[-1].num_nodes if self.iterations else 0
 
     @property
     def total_matches(self) -> int:
+        """Matches found across all iterations."""
         return sum(it.matches_found for it in self.iterations)
 
     @property
     def total_applications(self) -> int:
+        """Rule applications (unions attempted) across all iterations."""
         return sum(sum(it.applied.values()) for it in self.iterations)
 
     def search_time(self) -> float:
+        """Total e-matching wall-clock across iterations."""
         return sum(it.search_time for it in self.iterations)
 
     def apply_time(self) -> float:
+        """Total match-application wall-clock across iterations."""
         return sum(it.apply_time for it in self.iterations)
 
     def rebuild_time(self) -> float:
+        """Total congruence-rebuild wall-clock across iterations."""
         return sum(it.rebuild_time for it in self.iterations)
 
     def growth_curve(self) -> List[Dict[str, int]]:
@@ -121,12 +138,14 @@ class SaturationProfile:
         ]
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the ``\"saturation\"`` payload in results)."""
         data = {
             "stop_reason": self.stop_reason,
             "total_time": self.total_time,
             "scheduler": self.scheduler,
             "indexed": self.indexed,
             "dedup": self.dedup,
+            "matcher": self.matcher,
             "num_iterations": self.num_iterations,
             "final_classes": self.final_classes,
             "final_nodes": self.final_nodes,
@@ -144,6 +163,7 @@ class SaturationProfile:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SaturationProfile":
+        """Rebuild a profile from its ``to_dict`` payload."""
         return cls(
             stop_reason=str(data["stop_reason"]),
             iterations=[IterationReport.from_dict(it) for it in data.get("iterations", [])],
@@ -155,5 +175,6 @@ class SaturationProfile:
             scheduler=str(data.get("scheduler", "simple")),
             indexed=bool(data.get("indexed", False)),
             dedup=bool(data.get("dedup", False)),
+            matcher=str(data.get("matcher", "indexed")),
             resource=data.get("resource"),
         )

@@ -53,6 +53,11 @@ class EmorphicConfig:
     scheduler: str = "backoff"
     use_op_index: bool = True
     dedup_matches: bool = True
+    #: e-matching strategy ("scan" | "indexed" | "batched"); "indexed" (the
+    #: default) defers to ``use_op_index``, "batched" runs the shared-prefix
+    #: trie over columnar storage (identical results, one e-graph walk per
+    #: iteration).
+    matcher: str = "indexed"
     # Extraction.
     #: "portfolio" = island-parallel delta-cost engine (chains guided by the
     #: structural cost, QoR model re-scores each chain's best); "legacy" =
@@ -222,6 +227,7 @@ def emorphic_pipeline(config: Optional[EmorphicConfig] = None) -> "Pipeline":
                 "scheduler": config.scheduler,
                 "index": config.use_op_index,
                 "dedup": config.dedup_matches,
+                "matcher": config.matcher,
             },
             phase="rewriting",
         )

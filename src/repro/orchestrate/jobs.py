@@ -52,7 +52,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
 #:    under "resource" when a resource sampler is installed
 #:    (``--sample-resources``), and SaturationProfile payloads carry a
 #:    per-run sample.
-SCHEMA_VERSION = 7
+#: 8: EmorphicConfig grows the ``matcher`` field (e-matching strategy) and
+#:    SaturationProfile payloads carry ``matcher``.
+SCHEMA_VERSION = 8
 
 FLOWS = ("baseline", "emorphic", "pipeline")
 

@@ -78,6 +78,9 @@ class WindowOptConfig:
     scheduler: str = "backoff"
     index: bool = True
     dedup: bool = True
+    #: e-matching strategy ("scan" | "indexed" | "batched"); "indexed" defers
+    #: to the legacy ``index`` flag, mirroring the ``saturate`` pass contract.
+    matcher: str = "indexed"
     # extraction
     method: str = "sa"  # "sa" (portfolio) | "greedy"
     chains: int = 2
@@ -161,6 +164,7 @@ def optimize_window(index: int, sub: Aig, cfg: WindowOptConfig) -> Tuple[WindowR
                 scheduler=cfg.scheduler,
                 use_index=cfg.index,
                 dedup_matches=cfg.dedup,
+                matcher=None if cfg.matcher == "indexed" else cfg.matcher,
             )
             with ExitStack() as stack:
                 if obs_provenance.recording_enabled():
@@ -197,6 +201,7 @@ def optimize_window(index: int, sub: Aig, cfg: WindowOptConfig) -> Tuple[WindowR
                         workers=0,
                     ),
                     seed_solution=circuit.original_extraction(),
+                    columns=engine.columns,
                 )
                 extraction = result.extraction
                 report.extract_cost = result.cost

@@ -36,6 +36,7 @@ class PassTiming:
     seconds: float
 
     def to_list(self) -> List[object]:
+        """JSON-friendly ``[name, phase, seconds]`` triple."""
         return [self.name, self.phase, self.seconds]
 
 
@@ -68,6 +69,11 @@ class FlowContext:
     partition_plan: Optional[object] = None
     #: Partitioned-run telemetry; set by ``stitch``.
     partition_profile: Optional[object] = None
+    #: Columnar e-graph mirror (``repro.engine.columns.ColumnStore``); set by
+    #: ``saturate(matcher=batched)`` (still attached, so it stays in lockstep)
+    #: and read by ``extract`` to snapshot the frozen problem from the
+    #: columns.  Invalidated with the e-graph.
+    egraph_columns: Optional[object] = None
     #: Scoped provenance log of the last ``saturate``; only set while a
     #: provenance recorder is installed, invalidated with the e-graph.
     provenance_log: Optional[object] = None
@@ -94,6 +100,7 @@ class FlowContext:
     # -- prerequisites ------------------------------------------------------
 
     def require_egraph(self, pass_name: str):
+        """The circuit e-graph, or a clear error naming the pass that needs it."""
         if self.circuit is None:
             raise PipelineError(
                 f"pass {pass_name!r} needs a circuit e-graph; run 'dag2eg' first "
@@ -107,10 +114,12 @@ class FlowContext:
         self.candidates = []
         self.partition_plan = None
         self.provenance_log = None
+        self.egraph_columns = None
 
     # -- timing ledger ------------------------------------------------------
 
     def record_timing(self, name: str, phase: str, seconds: float) -> None:
+        """Append one pass's wall-clock to the timing ledger."""
         self.timings.append(PassTiming(name=name, phase=phase, seconds=seconds))
 
     def pass_runtimes(self) -> List[Tuple[str, float]]:
@@ -125,4 +134,5 @@ class FlowContext:
         return phases
 
     def total_pass_time(self) -> float:
+        """Sum of all recorded pass times."""
         return sum(t.seconds for t in self.timings)

@@ -33,7 +33,7 @@ from repro.conversion.dag2eg import aig_to_egraph
 from repro.conversion.eg2dag import extraction_to_aig
 from repro.costmodel.abc_cost import MappingCostModel
 from repro.egraph.rules import boolean_rules
-from repro.engine import SCHEDULERS, EngineLimits, SaturationEngine
+from repro.engine import MATCHERS, SCHEDULERS, EngineLimits, SaturationEngine
 from repro.extraction.cost import DepthCost, NodeCountCost
 from repro.extraction.engine import PortfolioConfig, portfolio_extract
 from repro.extraction.greedy import greedy_extract
@@ -100,6 +100,7 @@ class PassSpec:
         return dict(params)
 
     def run(self, ctx: FlowContext, params: Dict[str, object]) -> None:
+        """Execute the pass with validated params over the context."""
         self.fn(ctx, **{**self.params, **self.validate_params(params)})
         if self.kind == "transform":
             ctx.invalidate_derived()
@@ -167,6 +168,7 @@ def available_passes() -> List[str]:
 
 
 def pass_table() -> List[PassSpec]:
+    """Every registered pass spec, in registration order."""
     return list(_REGISTRY.values())
 
 
@@ -234,6 +236,7 @@ def _pass_saturate(
     scheduler: str = "backoff",
     index: bool = True,
     dedup: bool = True,
+    matcher: str = "indexed",
 ) -> None:
     """Equality saturation via the engine subsystem.
 
@@ -242,6 +245,12 @@ def _pass_saturate(
     every iteration.  ``index``/``dedup`` toggle op-indexed e-matching and
     cross-iteration match deduplication — ``saturate(scheduler=simple,
     dedup=false)`` is byte-for-byte the legacy runner loop.
+    ``matcher`` picks the e-matching strategy (``scan`` / ``indexed`` /
+    ``batched``); ``batched`` compiles all rules into one shared-prefix trie
+    over columnar storage and produces identical results faster.  The default
+    ``matcher=indexed`` defers to the legacy ``index`` flag (so
+    ``index=false`` still means the full-scan matcher); ``matcher=scan`` and
+    ``matcher=batched`` override it.
 
     After a ``partition`` pass the parameters are *staged* into the pending
     plan (applied per window when ``stitch`` runs) instead of saturating a
@@ -250,6 +259,10 @@ def _pass_saturate(
     if scheduler not in SCHEDULERS:
         raise PipelineError(
             f"unknown scheduler {scheduler!r}; choose from {', '.join(SCHEDULERS)}"
+        )
+    if matcher not in MATCHERS:
+        raise PipelineError(
+            f"unknown matcher {matcher!r}; choose from {', '.join(MATCHERS)}"
         )
     plan = ctx.partition_plan
     if plan is not None:
@@ -261,6 +274,7 @@ def _pass_saturate(
             scheduler=scheduler,
             index=index,
             dedup=dedup,
+            matcher=matcher,
         )
         plan.saturate_staged = True
         ctx.metrics["saturation_staged"] = True
@@ -273,6 +287,7 @@ def _pass_saturate(
         scheduler=scheduler,
         use_index=index,
         dedup_matches=dedup,
+        matcher=None if matcher == "indexed" else matcher,
     )
     if obs_provenance.recording_enabled():
         # Scope a fresh log per saturation run so one log never spans two
@@ -289,7 +304,12 @@ def _pass_saturate(
         # Surface the run's resource sample at flow level (a later sampled
         # saturate in the same flow overwrites — latest run wins).
         ctx.resource_profile = ctx.rewrite_report.resource
+    # Under the batched matcher the engine leaves its columnar mirror attached;
+    # park it on the context so ``extract`` snapshots the frozen problem from
+    # the columns instead of re-walking the object graph.
+    ctx.egraph_columns = engine.columns
     ctx.metrics["saturation_stop_reason"] = ctx.rewrite_report.stop_reason
+    ctx.metrics["saturation_matcher"] = ctx.rewrite_report.matcher
     ctx.metrics["saturation_scheduler"] = ctx.rewrite_report.scheduler
     ctx.metrics["saturation_matches"] = ctx.rewrite_report.total_matches
     ctx.metrics["saturation_applications"] = ctx.rewrite_report.total_applications
@@ -407,6 +427,7 @@ def _pass_extract(
                 config=config,
                 seed_solution=circuit.original_extraction(),
                 final_selector=qor_evaluator if model is not None else None,
+                columns=ctx.egraph_columns,
             )
             ctx.extraction_profile = result.profile
             ctx.metrics["extraction_moves"] = result.profile.total_moves

@@ -64,6 +64,7 @@ class Step:
         params: Optional[Dict[str, object]] = None,
         phase: Optional[str] = None,
     ) -> "Step":
+        """Build a canonical step: alias-resolved, defaults dropped, types aligned."""
         spec = resolve_pass(pass_name)
         validated = spec.validate_params(params or {})
         normalized: Dict[str, object] = {}
@@ -82,13 +83,16 @@ class Step:
 
     @property
     def param_dict(self) -> Dict[str, object]:
+        """The step's parameter overrides as a dict."""
         return dict(self.params)
 
     @property
     def phase_label(self) -> str:
+        """Timing-ledger phase bucket (defaults to the pass name)."""
         return self.phase or self.pass_name
 
     def to_dict(self) -> Dict[str, object]:
+        """Canonical spec entry (omits empty params / default phase)."""
         data: Dict[str, object] = {"pass": self.pass_name}
         if self.params:
             data["params"] = self.param_dict
@@ -98,6 +102,7 @@ class Step:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "Step":
+        """Rebuild (and re-canonicalize) a step from a spec entry."""
         return cls.make(
             str(data["pass"]),
             params=dict(data.get("params") or {}),
@@ -132,6 +137,7 @@ class PipelineResult:
 
     @property
     def levels(self) -> int:
+        """Logic depth of the result AIG."""
         return logic_depth(self.aig)
 
     def runtime_breakdown(self) -> Dict[str, float]:
@@ -188,6 +194,7 @@ class Pipeline:
 
     @classmethod
     def from_script(cls, text: str) -> "Pipeline":
+        """Parse script text (see docs/dsl.md) into a canonical pipeline."""
         return cls([Step.make(name, params) for name, params in parse_script(text)])
 
     @classmethod

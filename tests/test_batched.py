@@ -1,0 +1,323 @@
+"""Batched e-matching parity and wiring tests.
+
+The tentpole invariant: the shared-prefix trie over columnar storage
+(:mod:`repro.engine.batched`) produces exactly the per-pattern reference's
+matches — same counts, same substitutions, same order, same ``limit``
+truncation prefix — so a batched saturation run lands on an identical
+e-graph under every scheduler/dedup combination.  Plus the config surface:
+``matcher=`` through the pipeline DSL, ``EmorphicConfig``, the bench
+harness's parity/speedup columns, and ``FrozenProblem.from_columns``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.benchgen import epfl
+from repro.conversion.dag2eg import aig_to_egraph
+from repro.egraph.egraph import EGraph
+from repro.egraph.language import AND, NOT, OR
+from repro.egraph.pattern import parse_pattern
+from repro.egraph.rules import boolean_rules
+from repro.egraph.serialize import egraph_digest
+from repro.engine import (
+    MATCHERS,
+    BatchedMatcher,
+    EngineLimits,
+    SaturationEngine,
+    compile_pattern,
+    priorities_from_attribution,
+    resolve_matcher,
+)
+from repro.engine.columns import ColumnStore
+from repro.extraction.cost import NodeCountCost
+from repro.extraction.engine.problem import FrozenProblem
+from repro.flows.emorphic import EmorphicConfig
+from repro.pipeline import Pipeline
+
+
+def _test_egraph(name="adder"):
+    return aig_to_egraph(epfl.build(name, preset="test")).egraph
+
+
+def _limits(iters=2, nodes=6000):
+    return EngineLimits(max_iterations=iters, max_nodes=nodes, time_limit=30.0)
+
+
+def _zeroed_profile(profile):
+    """Profile JSON with timings zeroed — everything else must be identical."""
+
+    def zero(obj):
+        if isinstance(obj, dict):
+            return {
+                k: 0.0 if isinstance(v, float) else zero(v)
+                for k, v in obj.items()
+                if k != "matcher"
+            }
+        if isinstance(obj, list):
+            return [zero(v) for v in obj]
+        return obj
+
+    return zero(profile.to_dict())
+
+
+class TestCompilePattern:
+    def test_slot_normalization_is_alpha_invariant(self):
+        a = compile_pattern(parse_pattern(f"({AND} ?a ?b)"))
+        b = compile_pattern(parse_pattern(f"({AND} ?x ?y)"))
+        assert a[:2] == b[:2]
+        assert a[2] == ("a", "b") and b[2] == ("x", "y")
+
+    def test_repeated_variable_shares_slot(self):
+        root_op, keys, names = compile_pattern(parse_pattern(f"({AND} ?a ?a)"))
+        assert root_op == AND
+        assert keys == (("var", 0), ("var", 0))
+        assert names == ("a",)
+
+    def test_nested_pattern_preorder_slots(self):
+        root_op, keys, names = compile_pattern(
+            parse_pattern(f"({OR} ({AND} ?a ?b) ?a)")
+        )
+        assert root_op == OR
+        assert keys == (("op", AND, (("var", 0), ("var", 1))), ("var", 0))
+        assert names == ("a", "b")
+
+    def test_non_operator_root_falls_back(self):
+        root_op, keys, names = compile_pattern(parse_pattern("?x"))
+        assert root_op is None
+
+
+class TestTrieSharing:
+    def test_prefix_sharing_shrinks_trie(self):
+        matcher = BatchedMatcher(boolean_rules())
+        stats = matcher.trie_stats()
+        assert stats["fallback_rules"] == 0
+        assert stats["rules"] == len(boolean_rules())
+        # Shared prefixes: strictly fewer roots than rules, and fewer edges
+        # than the sum of standalone pattern sizes would need.
+        assert stats["roots"] < stats["rules"]
+        assert stats["nodes"] == stats["edges"] + stats["roots"]
+
+    def test_priority_ordering_reorders_not_changes(self):
+        rules = boolean_rules()
+        eg = _test_egraph()
+        cols = ColumnStore(eg)
+        active = list(range(len(rules)))
+        plain = BatchedMatcher(rules).search(cols, active, egraph=eg)
+        prioritized = BatchedMatcher(
+            rules, rule_priorities={rules[0].name: 100.0, rules[-1].name: 50.0}
+        ).search(cols, active, egraph=eg)
+        assert plain == prioritized
+
+
+class TestMatchParity:
+    """Per-rule match lists identical to the per-pattern reference."""
+
+    def _reference(self, eg, rules, limit=None):
+        return {
+            i: rule.search(eg, limit=limit)
+            for i, rule in enumerate(rules)
+        }
+
+    @pytest.mark.parametrize("circuit", ["adder", "mem_ctrl"])
+    def test_exact_match_lists(self, circuit):
+        eg = _test_egraph(circuit)
+        rules = boolean_rules()
+        cols = ColumnStore(eg)
+        matcher = BatchedMatcher(rules)
+        batched = matcher.search(cols, range(len(rules)), egraph=eg)
+        reference = self._reference(eg, rules)
+        assert batched == reference
+
+    def test_parity_survives_apply_rebuild_cycles(self):
+        eg = _test_egraph("adder")
+        rules = boolean_rules()
+        cols = ColumnStore(eg)
+        matcher = BatchedMatcher(rules)
+        engine = SaturationEngine(eg, rules, limits=_limits(iters=1))
+        for _ in range(2):
+            batched = matcher.search(cols, range(len(rules)), egraph=eg)
+            assert batched == self._reference(eg, rules)
+            cols.check_lockstep()
+            engine.run()  # one apply+rebuild round between parity checks
+        assert matcher.search(cols, range(len(rules)), egraph=eg) == self._reference(
+            eg, rules
+        )
+        cols.check_lockstep()
+
+    def test_limit_truncation_same_prefix(self):
+        eg = _test_egraph("adder")
+        rules = boolean_rules()
+        cols = ColumnStore(eg)
+        matcher = BatchedMatcher(rules)
+        batched = matcher.search(cols, range(len(rules)), limit=7, egraph=eg)
+        assert batched == self._reference(eg, rules, limit=7)
+
+    def test_ban_pruning_skips_inactive_rules(self):
+        eg = _test_egraph("adder")
+        rules = boolean_rules()
+        cols = ColumnStore(eg)
+        matcher = BatchedMatcher(rules)
+        active = [0, 3, 5]
+        out = matcher.search(cols, active, egraph=eg)
+        assert set(out) == set(active)
+        full = matcher.search(cols, range(len(rules)), egraph=eg)
+        for index in active:
+            assert out[index] == full[index]
+
+    def test_fallback_requires_egraph(self):
+        eg = EGraph()
+        eg.var("a")
+        cols = ColumnStore(eg)
+        from repro.egraph.rewrite import Rewrite
+
+        rule = Rewrite("odd-root", parse_pattern("?x"), parse_pattern("?x"))
+        matcher = BatchedMatcher([rule])
+        with pytest.raises(ValueError, match="non-operator LHS root"):
+            matcher.search(cols, [0])
+        assert matcher.search(cols, [0], egraph=eg) == {0: rule.search(eg)}
+
+
+class TestEngineParity:
+    """Whole saturation runs: identical e-graphs and telemetry counters."""
+
+    @pytest.mark.parametrize("scheduler", ["simple", "backoff"])
+    @pytest.mark.parametrize("dedup", [True, False])
+    def test_identical_final_egraph(self, scheduler, dedup):
+        def run(matcher):
+            eg = _test_egraph("adder")
+            engine = SaturationEngine(
+                eg,
+                boolean_rules(),
+                limits=_limits(),
+                scheduler=scheduler,
+                dedup_matches=dedup,
+                matcher=matcher,
+            )
+            profile = engine.run()
+            return egraph_digest(eg), _zeroed_profile(profile)
+
+        digest_ref, profile_ref = run("indexed")
+        digest_bat, profile_bat = run("batched")
+        assert digest_bat == digest_ref
+        assert profile_bat == profile_ref
+
+    def test_batched_run_is_deterministic(self):
+        def run():
+            eg = _test_egraph("adder")
+            SaturationEngine(
+                eg, boolean_rules(), limits=_limits(), matcher="batched"
+            ).run()
+            return egraph_digest(eg)
+
+        assert run() == run()
+
+    def test_profile_records_matcher(self):
+        eg = _test_egraph("adder")
+        engine = SaturationEngine(
+            eg, boolean_rules(), limits=_limits(iters=1), matcher="batched"
+        )
+        profile = engine.run()
+        assert profile.matcher == "batched"
+        assert json.loads(json.dumps(profile.to_dict()))["matcher"] == "batched"
+
+    def test_match_limit_truncation_parity(self):
+        def run(matcher):
+            eg = _test_egraph("adder")
+            limits = EngineLimits(
+                max_iterations=2,
+                max_nodes=6000,
+                time_limit=30.0,
+                match_limit_per_rule=37,
+            )
+            profile = SaturationEngine(
+                eg, boolean_rules(), limits=limits, matcher=matcher
+            ).run()
+            return egraph_digest(eg), _zeroed_profile(profile)
+
+        assert run("batched") == run("indexed")
+
+
+class TestResolveMatcher:
+    def test_none_defers_to_index_flag(self):
+        assert resolve_matcher(None, True) == "indexed"
+        assert resolve_matcher(None, False) == "scan"
+
+    def test_explicit_names(self):
+        for name in MATCHERS:
+            assert resolve_matcher(name, True) == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown matcher"):
+            resolve_matcher("quantum", True)
+
+    def test_engine_batched_implies_index(self):
+        eg = _test_egraph("adder")
+        engine = SaturationEngine(eg, boolean_rules(), matcher="batched")
+        assert engine.use_index is True
+
+
+class TestPriorities:
+    def test_from_attribution_dict(self):
+        payload = {
+            "rules": {
+                "and-comm": {"surviving_ands": 12},
+                "or-comm": {"surviving_ands": 0},
+                "original": {"surviving_ands": 99},
+            }
+        }
+        priorities = priorities_from_attribution(payload)
+        assert priorities == {"and-comm": 12.0, "or-comm": 0.0}
+
+    def test_from_attribution_object(self):
+        class Fake:
+            def to_dict(self):
+                return {"rules": {"not-not": {"surviving_ands": 3}}}
+
+        assert priorities_from_attribution(Fake()) == {"not-not": 3.0}
+
+
+class TestWiring:
+    def test_pipeline_saturate_matcher_param(self):
+        pipe = Pipeline.from_script(
+            "strash; premap; dag2eg; saturate(iters=1, matcher=batched); "
+            "extract(method=greedy); map"
+        )
+        ctx = pipe.run(epfl.build("adder", preset="test"))
+        assert ctx.metrics["saturation_matcher"] == "batched"
+        assert ctx.egraph_columns is not None
+        ctx.egraph_columns.check_lockstep()
+
+    def test_pipeline_rejects_unknown_matcher(self):
+        pipe = Pipeline.from_script("strash; dag2eg; saturate(iters=1, matcher=nope)")
+        with pytest.raises(ValueError, match="unknown matcher"):
+            pipe.run(epfl.build("adder", preset="test"))
+
+    def test_indexed_matcher_leaves_no_columns(self):
+        pipe = Pipeline.from_script("strash; dag2eg; saturate(iters=1)")
+        ctx = pipe.run(epfl.build("adder", preset="test"))
+        assert ctx.metrics["saturation_matcher"] == "indexed"
+        assert ctx.egraph_columns is None
+
+    def test_emorphic_config_round_trip(self):
+        config = EmorphicConfig(matcher="batched")
+        assert EmorphicConfig.from_dict(config.to_dict()).matcher == "batched"
+        assert EmorphicConfig().matcher == "indexed"
+
+    def test_frozen_problem_from_columns_equals_build(self):
+        circuit = aig_to_egraph(epfl.build("adder", preset="test"))
+        eg = circuit.egraph
+        engine = SaturationEngine(
+            eg, boolean_rules(), limits=_limits(iters=1), matcher="batched"
+        )
+        engine.run()
+        roots = list(circuit.output_classes)
+        built = FrozenProblem.build(eg, roots, cost=NodeCountCost())
+        mirrored = FrozenProblem.from_columns(engine.columns, roots, cost=NodeCountCost())
+        assert mirrored.nodes == built.nodes
+        assert mirrored.children == built.children
+        assert mirrored.node_costs == built.node_costs
+        assert mirrored.roots == built.roots
+        assert mirrored.mode == built.mode

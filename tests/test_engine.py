@@ -471,13 +471,19 @@ class TestSaturationBench:
             circuits=["adder"], fast=True, iters=2, max_nodes=2_000, conflict_budget=20_000
         )
         entry = payload["circuits"]["adder"]
-        assert set(entry["runs"]) == {"legacy", "indexed", "engine"}
+        assert set(entry["runs"]) == {"legacy", "indexed", "engine", "batched"}
         for run in entry["runs"].values():
             assert run["wall_time"] > 0
             assert run["extraction_cec"] in ("equivalent", "unknown")
             assert run["extraction_cec"] != "counterexample"
         assert "engine" in entry["speedup"]
         assert payload["summary"]["geomean_speedup"]["engine"] > 0
+        # The batched matcher must be result-identical to its engine twin and
+        # report its speedup against the per-pattern "indexed" variant.
+        assert entry["matcher_parity"] == "equal"
+        assert entry["batched_speedup_vs_engine"] > 0
+        assert entry["batched_speedup_vs_indexed"] > 0
+        assert payload["summary"]["geomean_batched_vs_indexed"] > 0
         json.dumps(payload)  # JSON-serializable end to end
         assert "adder" in render_bench(payload)
 
